@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation study over the PGSS design choices DESIGN.md section 6
+ * calls out (not a paper figure — supporting evidence for the
+ * reproduction's parameter choices):
+ *
+ *  - jittered vs period-start sample placement
+ *  - compare-to-last-phase-first vs always-full-table matching
+ *  - sample spreading on/off
+ *  - hashed-BBV width (4/5/6 address bits -> 16/32/64 accumulators)
+ *  - per-phase minimum-sample floor (2/4/8)
+ *
+ * Three representative workloads: gzip (rich phase structure), art
+ * (fine-grained micro-phases), equake (long stable phases).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/support.hh"
+#include "core/pgss_controller.hh"
+#include "util/table.hh"
+
+using namespace pgss;
+
+namespace
+{
+
+struct Variant
+{
+    std::string name;
+    core::PgssConfig config;
+    sim::EngineConfig engine; ///< for the hash-width ablation
+};
+
+std::vector<Variant>
+variants(const sim::EngineConfig &base_engine)
+{
+    std::vector<Variant> out;
+    core::PgssConfig base; // library defaults: 100k, 0.05 pi, jitter
+
+    auto add = [&](const std::string &name,
+                   const core::PgssConfig &cfg,
+                   const sim::EngineConfig &eng) {
+        out.push_back({name, cfg, eng});
+    };
+
+    add("default (jitter on)", base, base_engine);
+
+    core::PgssConfig no_jitter = base;
+    no_jitter.jitter_samples = false;
+    add("period-start samples", no_jitter, base_engine);
+
+    core::PgssConfig no_last = base;
+    no_last.compare_last_first = false;
+    add("no compare-last-first", no_last, base_engine);
+
+    core::PgssConfig no_spread = base;
+    no_spread.spread_samples = false;
+    add("no sample spreading", no_spread, base_engine);
+
+    for (std::uint32_t bits : {4u, 6u}) {
+        sim::EngineConfig eng = base_engine;
+        eng.hashed_bbv.hash_bits = bits;
+        add("hash bits = " + std::to_string(bits), base, eng);
+    }
+
+    for (std::uint64_t floor : {2ull, 8ull}) {
+        core::PgssConfig cfg = base;
+        cfg.min_samples_per_phase = floor;
+        add("min samples = " + std::to_string(floor), cfg,
+            base_engine);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation - PGSS design choices (100k period, 0.05 pi)",
+        "Error / detailed ops / phases for each variant; DESIGN.md "
+        "sec. 6 documents the choices.");
+
+    const std::vector<std::string> names = {"164.gzip", "179.art",
+                                            "183.equake"};
+    std::vector<bench::Entry> entries;
+    for (const std::string &n : names)
+        entries.push_back(bench::loadEntry(n));
+
+    for (const bench::Entry &e : entries) {
+        std::printf("\n-- %s (true IPC %.3f) --\n", e.short_name.c_str(),
+                    e.profile.trueIpc());
+        util::Table t;
+        t.setHeader({"variant", "error", "samples", "detailed ops",
+                     "phases"});
+        for (const Variant &v : variants(bench::benchConfig())) {
+            sim::SimulationEngine engine(e.built.program, v.engine);
+            const core::PgssResult r =
+                core::PgssController(v.config).run(engine);
+            const double err =
+                std::abs(r.est_ipc - e.profile.trueIpc()) /
+                e.profile.trueIpc();
+            t.addRow({v.name, util::Table::fmtPercent(err, 2),
+                      std::to_string(r.n_samples),
+                      util::Table::fmtCount(r.detailed_ops),
+                      std::to_string(r.n_phases)});
+        }
+        t.print(std::cout);
+    }
+
+    std::printf("\nreading guide: period-start sampling risks "
+                "micro-phase aliasing (art);\ndisabling spreading "
+                "concentrates samples early in each phase; narrower\n"
+                "hashes blur phase signatures (fewer phases, more "
+                "within-phase variance);\na higher sample floor "
+                "costs detail on stable workloads (equake).\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 2: IPC of the gzip analogue versus completed instructions
+ * at four sampling granularities. The paper shows 100M/10M/1M/100k
+ * over the first 500M ops of 164.gzip; our workloads are one decade
+ * shorter, so the granularities scale to 10M/1M/100k/10k over the
+ * first ~50M ops (DESIGN.md sec. 2). The point being reproduced:
+ * wild fine-grained IPC variation is averaged away — invisible — at
+ * coarse sampling periods.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/interval_profile.hh"
+#include "bench/support.hh"
+#include "util/table.hh"
+
+using namespace pgss;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 2 - IPC vs completed ops at four granularities "
+        "(164.gzip)",
+        "Granularities scaled one decade from the paper "
+        "(10M/1M/100k/10k vs 100M/10M/1M/100k).");
+
+    // A fine-grained (10k-op) profile of gzip, built directly (the
+    // shared cache stores 100k-op profiles).
+    const workload::BuiltWorkload built =
+        workload::buildWorkload("164.gzip", bench::benchScale());
+    const analysis::IntervalProfile fine =
+        analysis::buildIntervalProfile(built.program,
+                                       bench::benchConfig(), 10'000);
+
+    const struct
+    {
+        const char *label;
+        std::uint32_t factor;
+    } levels[] = {
+        {"10M ops per sample", 1000},
+        {"1M ops per sample", 100},
+        {"100k ops per sample", 10},
+        {"10k ops per sample", 1},
+    };
+
+    for (const auto &level : levels) {
+        const analysis::IntervalProfile p =
+            level.factor == 1 ? fine : fine.aggregate(level.factor);
+        const auto stats = p.ipcStats();
+        std::printf("\n-- %s: %zu samples, IPC mean %.3f, sigma "
+                    "%.3f, min %.3f, max %.3f\n",
+                    level.label, p.intervals(), stats.mean(),
+                    stats.stddev(), stats.min(), stats.max());
+
+        // Print the series (or a decimated view) as ops vs IPC.
+        util::Table t;
+        t.setHeader({"ops completed", "IPC"});
+        const std::size_t max_rows = 50;
+        const std::size_t step =
+            std::max<std::size_t>(1, p.intervals() / max_rows);
+        for (std::size_t i = 0; i < p.intervals(); i += step) {
+            t.addRow({util::Table::fmtSci(
+                          static_cast<double>((i + 1)) *
+                              static_cast<double>(p.intervalOps()),
+                          2),
+                      util::Table::fmt(p.intervalIpc(i), 3)});
+        }
+        t.print(std::cout);
+    }
+
+    // The figure's claim, quantified: sigma falls monotonically as
+    // the sampling period grows.
+    std::printf("\nIPC sigma by granularity (fine variation averages "
+                "out at coarse sampling):\n");
+    for (const auto &level : levels) {
+        const analysis::IntervalProfile p =
+            level.factor == 1 ? fine : fine.aggregate(level.factor);
+        std::printf("  %-20s sigma = %.4f\n", level.label,
+                    p.ipcStats().stddev());
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 3: IPC versus time plus the distribution of cycles spent at
+ * each IPC level, for the wupwise analogue. The paper measured a
+ * Pentium-4 execution of 168.wupwise; here the simulated analogue
+ * stands in (DESIGN.md sec. 2). The property under reproduction: the
+ * distribution is clearly NOT a single Gaussian — it is polymodal,
+ * one mode per phase — which is why SMARTS-style single-population
+ * confidence intervals overestimate variation.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "analysis/interval_profile.hh"
+#include "bench/support.hh"
+#include "stats/histogram.hh"
+#include "util/table.hh"
+
+using namespace pgss;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 3 - IPC vs time and IPC distribution (168.wupwise)",
+        "Simulated analogue replaces the paper's Pentium-4 hardware "
+        "trace; the polymodal shape is the reproduced property.");
+
+    const workload::BuiltWorkload built =
+        workload::buildWorkload("168.wupwise", bench::benchScale());
+    const analysis::IntervalProfile profile =
+        analysis::buildIntervalProfile(built.program,
+                                       bench::benchConfig(), 100'000);
+
+    // Left panel: IPC vs time (cycles), decimated.
+    std::printf("\n-- IPC versus time --\n");
+    util::Table series;
+    series.setHeader({"cycles elapsed", "IPC"});
+    std::uint64_t cycles = 0;
+    const std::size_t step =
+        std::max<std::size_t>(1, profile.intervals() / 60);
+    for (std::size_t i = 0; i < profile.intervals(); ++i) {
+        cycles += profile.intervalCycles(i);
+        if (i % step == 0)
+            series.addRow(
+                {util::Table::fmtSci(static_cast<double>(cycles), 2),
+                 util::Table::fmt(profile.intervalIpc(i), 3)});
+    }
+    series.print(std::cout);
+
+    // Right panel: cycles spent in each IPC bin.
+    const auto stats = profile.ipcStats();
+    stats::Histogram hist(0.0, stats.max() * 1.1, 40);
+    for (std::size_t i = 0; i < profile.intervals(); ++i)
+        hist.add(profile.intervalIpc(i),
+                 static_cast<double>(profile.intervalCycles(i)));
+
+    std::printf("\n-- distribution: cycles per IPC bin --\n");
+    const auto norm = hist.normalized();
+    for (std::uint32_t b = 0; b < hist.bins(); ++b) {
+        if (norm[b] < 0.002)
+            continue;
+        const int bars = static_cast<int>(norm[b] * 250);
+        std::printf("  IPC %5.2f  %6.2f%%  %s\n", hist.binCenter(b),
+                    100.0 * norm[b],
+                    std::string(static_cast<std::size_t>(bars), '#')
+                        .c_str());
+    }
+
+    const std::uint32_t modes = hist.modeCount(0.02);
+    std::printf("\ndistinct modes (>=2%% weight): %u\n", modes);
+    std::printf("%s\n",
+                modes >= 2
+                    ? "polymodal, as the paper shows: a single-"
+                      "Gaussian assumption overestimates variance"
+                    : "WARNING: expected a polymodal distribution");
+    std::printf("overall: true IPC %.3f, interval sigma %.3f\n",
+                profile.trueIpc(), stats.stddev());
+    return 0;
+}

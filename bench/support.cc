@@ -1,0 +1,86 @@
+#include "bench/support.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/profile_cache.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace pgss::bench
+{
+
+double
+benchScale()
+{
+    return util::workloadScale();
+}
+
+const sim::EngineConfig &
+benchConfig()
+{
+    static const sim::EngineConfig config; // the paper's machine
+    return config;
+}
+
+Entry
+loadEntry(const std::string &name)
+{
+    Entry e;
+    e.name = name;
+    const std::size_t dot = name.find('.');
+    e.short_name =
+        dot == std::string::npos ? name : name.substr(dot + 1);
+    e.built = workload::buildWorkload(name, benchScale());
+    analysis::ProfileCache cache;
+    e.profile =
+        cache.loadOrBuild(e.built.program, benchConfig(), 100'000);
+    return e;
+}
+
+std::vector<Entry>
+loadSuite()
+{
+    std::vector<Entry> entries;
+    for (const std::string &name : workload::suiteNames())
+        entries.push_back(loadEntry(name));
+    return entries;
+}
+
+void
+printHeader(const std::string &figure, const std::string &note)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s\n", figure.c_str());
+    std::printf("%s\n", note.c_str());
+    std::printf("workload scale: %.3g (override with PGSS_SCALE; "
+                "1.0 = ~10^8-op analogues)\n",
+                benchScale());
+    std::printf("================================================="
+                "=============\n");
+}
+
+double
+geoMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(std::max(x, 1e-12));
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+} // namespace pgss::bench

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction bench binaries: the
+ * evaluation suite at the configured scale, cached ground-truth
+ * profiles, and common printing. Every bench prints which scale it
+ * ran at (PGSS_SCALE, default 1.0) because the workloads are scaled
+ * SPEC2000 analogues — see DESIGN.md section 2.
+ */
+
+#ifndef PGSS_BENCH_SUPPORT_HH
+#define PGSS_BENCH_SUPPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/interval_profile.hh"
+#include "sim/engine.hh"
+#include "workload/suite.hh"
+
+namespace pgss::bench
+{
+
+/** One evaluation workload: program + ground truth. */
+struct Entry
+{
+    std::string name;       ///< full SPEC-style name
+    std::string short_name; ///< e.g. "gzip"
+    workload::BuiltWorkload built;
+    analysis::IntervalProfile profile;
+};
+
+/** The workload scale in effect (PGSS_SCALE env, default 1.0). */
+double benchScale();
+
+/** The engine configuration all benches simulate. */
+const sim::EngineConfig &benchConfig();
+
+/**
+ * Build @p name at the bench scale and load/build its ground-truth
+ * profile (100k-op granularity) through the on-disk cache.
+ */
+Entry loadEntry(const std::string &name);
+
+/** loadEntry() over the paper's ten evaluation workloads. */
+std::vector<Entry> loadSuite();
+
+/** Print the standard bench header (figure id, scale, note). */
+void printHeader(const std::string &figure, const std::string &note);
+
+/** Geometric mean of positive values (zeros contribute epsilon). */
+double geoMean(const std::vector<double> &xs);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &xs);
+
+} // namespace pgss::bench
+
+#endif // PGSS_BENCH_SUPPORT_HH

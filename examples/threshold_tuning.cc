@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Threshold tuning: how the BBV angle threshold changes PGSS-Sim's
+ * behaviour on one workload, and what the adaptive-threshold
+ * extension (the paper's future-work item) settles on.
+ *
+ * Usage: threshold_tuning [workload] [scale]
+ *   defaults: 300.twolf 0.1 — the paper's own threshold case study.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/interval_profile.hh"
+#include "core/pgss_controller.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pgss;
+
+    const std::string name = argc > 1 ? argv[1] : "300.twolf";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+    const workload::BuiltWorkload built =
+        workload::buildWorkload(name, scale);
+    const analysis::IntervalProfile profile =
+        analysis::buildIntervalProfile(built.program);
+    const double true_ipc = profile.trueIpc();
+    std::printf("%s: true IPC %.3f\n\n", built.program.name.c_str(),
+                true_ipc);
+
+    util::Table t;
+    t.setHeader({"threshold/pi", "phases", "changes", "samples",
+                 "detailed ops", "error"});
+    for (double th : {0.01, 0.025, 0.05, 0.10, 0.15, 0.25, 0.40}) {
+        core::PgssConfig cfg;
+        cfg.threshold = th * M_PI;
+        sim::SimulationEngine engine(built.program);
+        const core::PgssResult r =
+            core::PgssController(cfg).run(engine);
+        t.addRow({util::Table::fmt(th, 3),
+                  std::to_string(r.n_phases),
+                  std::to_string(r.n_phase_changes),
+                  std::to_string(r.n_samples),
+                  util::Table::fmtCount(r.detailed_ops),
+                  util::Table::fmtPercent(
+                      std::abs(r.est_ipc - true_ipc) / true_ipc,
+                      2)});
+    }
+    t.print(std::cout);
+
+    // The adaptive extension: start badly mis-tuned in both
+    // directions and let the runtime controller walk the threshold.
+    std::printf("\nadaptive threshold (paper future work):\n");
+    for (double start : {0.01, 0.25}) {
+        core::PgssConfig cfg;
+        cfg.threshold = start * M_PI;
+        cfg.adaptive.enabled = true;
+        sim::SimulationEngine engine(built.program);
+        const core::PgssResult r =
+            core::PgssController(cfg).run(engine);
+        std::printf("  start %.3f pi -> final %.3f pi "
+                    "(%u adjustments), error %.2f%%, %llu samples\n",
+                    start, r.final_threshold / M_PI,
+                    r.threshold_adjustments,
+                    100.0 * std::abs(r.est_ipc - true_ipc) /
+                        true_ipc,
+                    static_cast<unsigned long long>(r.n_samples));
+    }
+    std::printf("\nlow thresholds mint many phases (false "
+                "positives, extra samples); high\nthresholds merge "
+                "real behaviour changes. The sweet spot is near "
+                "0.05 pi,\nas in the paper.\n");
+    return 0;
+}

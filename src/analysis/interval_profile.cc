@@ -1,0 +1,147 @@
+#include "analysis/interval_profile.hh"
+
+#include "bbv/bbv_math.hh"
+#include "util/logging.hh"
+
+namespace pgss::analysis
+{
+
+double
+IntervalProfile::intervalIpc(std::size_t i) const
+{
+    return static_cast<double>(interval_ops_) /
+           static_cast<double>(cycles_[i]);
+}
+
+double
+IntervalProfile::intervalCpi(std::size_t i) const
+{
+    return static_cast<double>(cycles_[i]) /
+           static_cast<double>(interval_ops_);
+}
+
+std::vector<double>
+IntervalProfile::bbvUnit(std::size_t i) const
+{
+    std::vector<double> v = bbv_raw_[i];
+    bbv::normalizeL2(v);
+    return v;
+}
+
+double
+IntervalProfile::trueIpc() const
+{
+    return total_cycles_ ? static_cast<double>(total_ops_) /
+                               static_cast<double>(total_cycles_)
+                         : 0.0;
+}
+
+double
+IntervalProfile::trueCpi() const
+{
+    return total_ops_ ? static_cast<double>(total_cycles_) /
+                            static_cast<double>(total_ops_)
+                      : 0.0;
+}
+
+stats::RunningStats
+IntervalProfile::ipcStats() const
+{
+    stats::RunningStats s;
+    for (std::size_t i = 0; i < intervals(); ++i)
+        s.add(intervalIpc(i));
+    return s;
+}
+
+double
+IntervalProfile::windowCpi(std::size_t start, std::size_t count) const
+{
+    util::panicIf(start + count > intervals() || count == 0,
+                  "windowCpi out of range");
+    std::uint64_t cyc = 0;
+    for (std::size_t i = start; i < start + count; ++i)
+        cyc += cycles_[i];
+    return static_cast<double>(cyc) /
+           static_cast<double>(interval_ops_ * count);
+}
+
+IntervalProfile
+IntervalProfile::aggregate(std::uint32_t factor) const
+{
+    util::panicIf(factor == 0, "aggregate factor must be nonzero");
+    IntervalProfile out;
+    out.setMeta(name_, interval_ops_ * factor);
+    const std::size_t groups = intervals() / factor;
+    for (std::size_t g = 0; g < groups; ++g) {
+        std::uint64_t cyc = 0;
+        std::vector<double> bbv;
+        for (std::uint32_t j = 0; j < factor; ++j) {
+            const std::size_t i = g * factor + j;
+            cyc += cycles_[i];
+            if (bbv.empty()) {
+                bbv = bbv_raw_[i];
+            } else {
+                for (std::size_t d = 0; d < bbv.size(); ++d)
+                    bbv[d] += bbv_raw_[i][d];
+            }
+        }
+        out.addInterval(cyc, std::move(bbv));
+    }
+    out.setTotals(total_ops_, total_cycles_);
+    return out;
+}
+
+void
+IntervalProfile::setMeta(std::string name, std::uint64_t interval_ops)
+{
+    name_ = std::move(name);
+    interval_ops_ = interval_ops;
+}
+
+void
+IntervalProfile::addInterval(std::uint64_t cycles,
+                             std::vector<double> bbv_raw)
+{
+    cycles_.push_back(cycles);
+    bbv_raw_.push_back(std::move(bbv_raw));
+}
+
+void
+IntervalProfile::setTotals(std::uint64_t ops, std::uint64_t cycles)
+{
+    total_ops_ = ops;
+    total_cycles_ = cycles;
+}
+
+IntervalProfile
+buildIntervalProfile(const isa::Program &program,
+                     const sim::EngineConfig &config,
+                     std::uint64_t interval_ops)
+{
+    util::panicIf(interval_ops == 0, "interval_ops must be nonzero");
+
+    sim::SimulationEngine engine(program, config);
+    engine.setHashedBbvEnabled(true);
+
+    IntervalProfile profile;
+    profile.setMeta(program.name, interval_ops);
+
+    while (!engine.halted()) {
+        const sim::RunResult r =
+            engine.run(interval_ops, sim::SimMode::DetailedMeasure);
+        if (r.ops == 0)
+            break;
+        if (r.ops == interval_ops) {
+            profile.addInterval(r.cycles, engine.harvestHashedBbvRaw());
+        } else {
+            // Trailing partial interval: totals keep it, the
+            // interval series does not.
+            engine.harvestHashedBbvRaw();
+        }
+    }
+
+    profile.setTotals(engine.totalOps(), engine.cycles());
+    return profile;
+}
+
+} // namespace pgss::analysis

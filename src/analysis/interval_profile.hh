@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ground-truth interval profiles: one full detailed simulation of a
+ * workload, recorded as per-interval cycle counts and raw hashed-BBV
+ * accumulators at a base granularity (100k ops by default, the
+ * paper's finest analysis grain). Sampling error is always measured
+ * against the profile's whole-program IPC, and the Figure 2/3/7-10
+ * analyses are post-processing over profiles.
+ */
+
+#ifndef PGSS_ANALYSIS_INTERVAL_PROFILE_HH
+#define PGSS_ANALYSIS_INTERVAL_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/engine.hh"
+#include "stats/running_stats.hh"
+
+namespace pgss::analysis
+{
+
+/** The profile data. */
+class IntervalProfile
+{
+  public:
+    IntervalProfile() = default;
+
+    /** Workload name the profile was built from. */
+    const std::string &name() const { return name_; }
+
+    /** Instructions per interval. */
+    std::uint64_t intervalOps() const { return interval_ops_; }
+
+    /** Number of complete intervals. */
+    std::size_t intervals() const { return cycles_.size(); }
+
+    /** Cycles spent in interval @p i. */
+    std::uint64_t intervalCycles(std::size_t i) const
+    {
+        return cycles_[i];
+    }
+
+    /** IPC of interval @p i. */
+    double intervalIpc(std::size_t i) const;
+
+    /** CPI of interval @p i. */
+    double intervalCpi(std::size_t i) const;
+
+    /** Raw hashed-BBV accumulators of interval @p i. */
+    const std::vector<double> &bbvRaw(std::size_t i) const
+    {
+        return bbv_raw_[i];
+    }
+
+    /** L2-normalised hashed BBV of interval @p i. */
+    std::vector<double> bbvUnit(std::size_t i) const;
+
+    /** Whole-program instruction count (tail included). */
+    std::uint64_t totalOps() const { return total_ops_; }
+
+    /** Whole-program cycle count (tail included). */
+    std::uint64_t totalCycles() const { return total_cycles_; }
+
+    /** Whole-program true IPC — the sampling-error reference. */
+    double trueIpc() const;
+
+    /** Whole-program true CPI. */
+    double trueCpi() const;
+
+    /** Mean/stddev of the per-interval IPC series. */
+    stats::RunningStats ipcStats() const;
+
+    /**
+     * CPI of the window starting at interval @p start spanning
+     * @p count intervals (what a perfectly-warmed detailed
+     * simulation of that window measures).
+     */
+    double windowCpi(std::size_t start, std::size_t count) const;
+
+    /**
+     * Coarser-granularity view: merge every @p factor consecutive
+     * intervals (cycles summed, raw BBVs added). A trailing group
+     * shorter than @p factor is dropped, as the paper's plots do.
+     */
+    IntervalProfile aggregate(std::uint32_t factor) const;
+
+    /** @name Construction (used by the builder and the cache) */
+    /// @{
+    void setMeta(std::string name, std::uint64_t interval_ops);
+    void addInterval(std::uint64_t cycles, std::vector<double> bbv_raw);
+    void setTotals(std::uint64_t ops, std::uint64_t cycles);
+    /// @}
+
+  private:
+    std::string name_;
+    std::uint64_t interval_ops_ = 0;
+    std::vector<std::uint64_t> cycles_;
+    std::vector<std::vector<double>> bbv_raw_;
+    std::uint64_t total_ops_ = 0;
+    std::uint64_t total_cycles_ = 0;
+};
+
+/**
+ * Build a profile by running @p program to completion in detailed
+ * mode with hashed-BBV tracking.
+ * @param interval_ops base granularity (default 100k, the paper's).
+ */
+IntervalProfile
+buildIntervalProfile(const isa::Program &program,
+                     const sim::EngineConfig &config = {},
+                     std::uint64_t interval_ops = 100'000);
+
+} // namespace pgss::analysis
+
+#endif // PGSS_ANALYSIS_INTERVAL_PROFILE_HH

@@ -1,0 +1,174 @@
+#include "analysis/profile_cache.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace pgss::analysis
+{
+
+namespace
+{
+
+constexpr std::uint32_t profile_magic = 0x50475046; // "PGPF"
+constexpr std::uint32_t profile_version = 2;
+
+/** FNV-1a over the pieces that define a workload+machine identity. */
+std::uint64_t
+identityHash(const isa::Program &program,
+             const sim::EngineConfig &config,
+             std::uint64_t interval_ops)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const isa::Instruction &inst : program.code) {
+        mix(static_cast<std::uint64_t>(inst.op) |
+            (std::uint64_t{inst.rd} << 8) |
+            (std::uint64_t{inst.rs1} << 16) |
+            (std::uint64_t{inst.rs2} << 24));
+        mix(static_cast<std::uint64_t>(inst.imm));
+    }
+    mix(program.data_bytes);
+    mix(program.entry);
+    mix(interval_ops);
+    mix(config.hierarchy.l1d.size_bytes);
+    mix(config.hierarchy.l1d.assoc);
+    mix(config.hierarchy.l2.size_bytes);
+    mix(config.hierarchy.mem_latency);
+    mix(config.pipeline.width);
+    mix(config.pipeline.mispredict_penalty);
+    mix(config.hashed_bbv.seed);
+    mix(config.hashed_bbv.hash_bits);
+    return h;
+}
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c
+                          : '_');
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+serializeProfile(const IntervalProfile &p)
+{
+    util::BinaryWriter w(profile_magic, profile_version);
+    w.putString(p.name());
+    w.putU64(p.intervalOps());
+    w.putU64(p.totalOps());
+    w.putU64(p.totalCycles());
+    w.putU64(p.intervals());
+    for (std::size_t i = 0; i < p.intervals(); ++i) {
+        w.putU64(p.intervalCycles(i));
+        w.putDoubleVec(p.bbvRaw(i));
+    }
+    return w.bytes();
+}
+
+IntervalProfile
+deserializeProfile(const std::vector<std::uint8_t> &data, bool &ok)
+{
+    IntervalProfile p;
+    util::BinaryReader r(data, profile_magic, profile_version);
+    if (!r.ok()) {
+        ok = false;
+        return p;
+    }
+    const std::string name = r.getString();
+    const std::uint64_t interval_ops = r.getU64();
+    p.setMeta(name, interval_ops);
+    const std::uint64_t total_ops = r.getU64();
+    const std::uint64_t total_cycles = r.getU64();
+    const std::uint64_t n = r.getU64();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        const std::uint64_t cycles = r.getU64();
+        p.addInterval(cycles, r.getDoubleVec());
+    }
+    p.setTotals(total_ops, total_cycles);
+    ok = r.ok();
+    return p;
+}
+
+ProfileCache::ProfileCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        dir_ = util::profileCacheDir();
+}
+
+std::string
+ProfileCache::pathFor(const isa::Program &program,
+                      const sim::EngineConfig &config,
+                      std::uint64_t interval_ops) const
+{
+    const std::uint64_t h =
+        identityHash(program, config, interval_ops);
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "_%016llx.profile",
+                  static_cast<unsigned long long>(h));
+    return dir_ + "/" + sanitize(program.name) + suffix;
+}
+
+IntervalProfile
+ProfileCache::loadOrBuild(const isa::Program &program,
+                          const sim::EngineConfig &config,
+                          std::uint64_t interval_ops)
+{
+    const std::string path = pathFor(program, config, interval_ops);
+
+    {
+        util::BinaryReader r = util::BinaryReader::fromFile(
+            path, profile_magic, profile_version);
+        if (r.ok()) {
+            // Re-read through the public deserializer so the file
+            // format has one owner.
+            std::ifstream in(path, std::ios::binary);
+            std::vector<std::uint8_t> bytes(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            bool ok = false;
+            IntervalProfile p = deserializeProfile(bytes, ok);
+            if (ok) {
+                util::verbose("profile cache hit: %s", path.c_str());
+                return p;
+            }
+        }
+    }
+
+    util::inform("building ground-truth profile for %s "
+                 "(full detailed simulation; cached at %s)",
+                 program.name.c_str(), path.c_str());
+    IntervalProfile p =
+        buildIntervalProfile(program, config, interval_ops);
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    const auto bytes = serializeProfile(p);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    if (!out)
+        util::warn("could not write profile cache file %s",
+                   path.c_str());
+    return p;
+}
+
+} // namespace pgss::analysis

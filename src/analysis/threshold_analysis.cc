@@ -1,0 +1,111 @@
+#include "analysis/threshold_analysis.hh"
+
+#include <cmath>
+
+#include "bbv/bbv_math.hh"
+
+namespace pgss::analysis
+{
+
+std::vector<DeltaPoint>
+computeDeltas(const IntervalProfile &profile)
+{
+    std::vector<DeltaPoint> deltas;
+    if (profile.intervals() < 2)
+        return deltas;
+
+    const double sigma = profile.ipcStats().stddev();
+    deltas.reserve(profile.intervals() - 1);
+    std::vector<double> prev = profile.bbvUnit(0);
+    for (std::size_t i = 1; i < profile.intervals(); ++i) {
+        std::vector<double> cur = profile.bbvUnit(i);
+        DeltaPoint d;
+        d.angle = bbv::angleBetweenUnit(prev, cur);
+        const double dipc =
+            std::abs(profile.intervalIpc(i) - profile.intervalIpc(i - 1));
+        d.ipc_sigma = sigma > 0.0 ? dipc / sigma : 0.0;
+        deltas.push_back(d);
+        prev = std::move(cur);
+    }
+    return deltas;
+}
+
+RegionCounts
+countRegions(const std::vector<DeltaPoint> &deltas,
+             double bbv_threshold, double sigma_level)
+{
+    RegionCounts c;
+    for (const DeltaPoint &d : deltas) {
+        const bool significant = d.ipc_sigma >= sigma_level;
+        const bool flagged = d.angle >= bbv_threshold;
+        if (significant && flagged)
+            ++c.detected;
+        else if (significant)
+            ++c.undetected;
+        else if (flagged)
+            ++c.false_positive;
+        else
+            ++c.correct_neg;
+    }
+    return c;
+}
+
+double
+detectionRate(const RegionCounts &c)
+{
+    const std::uint64_t sig = c.detected + c.undetected;
+    return sig ? static_cast<double>(c.detected) / sig : 1.0;
+}
+
+double
+falsePositiveRate(const RegionCounts &c)
+{
+    const std::uint64_t flagged = c.detected + c.false_positive;
+    return flagged ? static_cast<double>(c.false_positive) / flagged
+                   : 0.0;
+}
+
+double
+meanDetectionRate(const std::vector<std::vector<DeltaPoint>> &sets,
+                  double bbv_threshold, double sigma_level)
+{
+    if (sets.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const auto &deltas : sets)
+        sum += detectionRate(
+            countRegions(deltas, bbv_threshold, sigma_level));
+    return sum / static_cast<double>(sets.size());
+}
+
+double
+meanFalsePositiveRate(const std::vector<std::vector<DeltaPoint>> &sets,
+                      double bbv_threshold, double sigma_level)
+{
+    if (sets.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &deltas : sets)
+        sum += falsePositiveRate(
+            countRegions(deltas, bbv_threshold, sigma_level));
+    return sum / static_cast<double>(sets.size());
+}
+
+stats::Histogram2d
+deltaDensity(const std::vector<std::vector<DeltaPoint>> &sets,
+             std::uint32_t x_bins, std::uint32_t y_bins,
+             double x_max_pi, double y_max_sigma)
+{
+    stats::Histogram2d h(0.0, x_max_pi * M_PI, x_bins, 0.0,
+                         y_max_sigma, y_bins);
+    for (const auto &deltas : sets) {
+        if (deltas.empty())
+            continue;
+        const double w = 1.0 / static_cast<double>(deltas.size());
+        for (const DeltaPoint &d : deltas)
+            h.add(d.angle, d.ipc_sigma, w);
+    }
+    return h;
+}
+
+} // namespace pgss::analysis

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Section-4 threshold methodology. Consecutive-interval deltas
+ * (BBV angle, |IPC change| in units of the benchmark's interval-IPC
+ * standard deviation) populate the four regions of Figure 6:
+ *
+ *   Region 1: significant IPC change, angle below threshold
+ *             (undetected change)
+ *   Region 2: significant IPC change, angle above threshold
+ *             (detected change)
+ *   Region 3: small IPC change, angle below threshold (correct)
+ *   Region 4: small IPC change, angle above threshold
+ *             (false positive)
+ *
+ * Figures 7, 8 and 9 are views over these deltas; benchmarks are
+ * weighted equally as in the paper.
+ */
+
+#ifndef PGSS_ANALYSIS_THRESHOLD_ANALYSIS_HH
+#define PGSS_ANALYSIS_THRESHOLD_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/interval_profile.hh"
+#include "stats/histogram.hh"
+
+namespace pgss::analysis
+{
+
+/** One consecutive-interval delta. */
+struct DeltaPoint
+{
+    double angle = 0.0;      ///< BBV change, radians
+    double ipc_sigma = 0.0;  ///< |IPC change| / benchmark sigma
+};
+
+/** All deltas of one profile (at the profile's granularity). */
+std::vector<DeltaPoint> computeDeltas(const IntervalProfile &profile);
+
+/** Figure-6 region populations for one threshold pair. */
+struct RegionCounts
+{
+    std::uint64_t undetected = 0;     ///< Region 1
+    std::uint64_t detected = 0;       ///< Region 2
+    std::uint64_t correct_neg = 0;    ///< Region 3
+    std::uint64_t false_positive = 0; ///< Region 4
+};
+
+/**
+ * Classify deltas.
+ * @param bbv_threshold angle threshold, radians.
+ * @param sigma_level IPC-change significance level (in sigmas).
+ */
+RegionCounts countRegions(const std::vector<DeltaPoint> &deltas,
+                          double bbv_threshold, double sigma_level);
+
+/** Region2 / (Region1 + Region2); 1.0 when no significant changes. */
+double detectionRate(const RegionCounts &c);
+
+/** Region4 / (Region2 + Region4); 0.0 when nothing is detected. */
+double falsePositiveRate(const RegionCounts &c);
+
+/**
+ * Equal-weight mean of a per-benchmark rate across delta sets (the
+ * paper weighs short and long benchmarks equally).
+ */
+double
+meanDetectionRate(const std::vector<std::vector<DeltaPoint>> &sets,
+                  double bbv_threshold, double sigma_level);
+
+/** Equal-weight mean false-positive rate. */
+double
+meanFalsePositiveRate(const std::vector<std::vector<DeltaPoint>> &sets,
+                      double bbv_threshold, double sigma_level);
+
+/**
+ * Figure-7 density: a 2-D histogram of (angle, sigma) with each
+ * benchmark's deltas normalised to equal total weight.
+ */
+stats::Histogram2d
+deltaDensity(const std::vector<std::vector<DeltaPoint>> &sets,
+             std::uint32_t x_bins = 25, std::uint32_t y_bins = 20,
+             double x_max_pi = 0.5, double y_max_sigma = 1.0);
+
+} // namespace pgss::analysis
+
+#endif // PGSS_ANALYSIS_THRESHOLD_ANALYSIS_HH

@@ -1,0 +1,68 @@
+#include "bbv/bbv_math.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pgss::bbv
+{
+
+void
+normalizeL2(std::vector<double> &v)
+{
+    const double n = norm(v);
+    if (n <= 0.0)
+        return;
+    for (double &x : v)
+        x /= n;
+}
+
+void
+normalizeL1(std::vector<double> &v)
+{
+    double sum = 0.0;
+    for (double x : v)
+        sum += std::abs(x);
+    if (sum <= 0.0)
+        return;
+    for (double &x : v)
+        x /= sum;
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    util::panicIf(a.size() != b.size(), "dot: size mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+double
+norm(const std::vector<double> &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+double
+angleBetween(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const double na = norm(a);
+    const double nb = norm(b);
+    if (na <= 0.0 || nb <= 0.0)
+        return 0.0;
+    const double c = std::clamp(dot(a, b) / (na * nb), -1.0, 1.0);
+    return std::acos(c);
+}
+
+double
+angleBetweenUnit(const std::vector<double> &a,
+                 const std::vector<double> &b)
+{
+    const double c = std::clamp(dot(a, b), -1.0, 1.0);
+    return std::acos(c);
+}
+
+} // namespace pgss::bbv

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Vector math for basic-block-vector comparison. The paper compares
+ * L2-normalised BBVs with a dot product, i.e. the cosine of the angle
+ * between them; thresholds are expressed as angles in radians
+ * (fractions of pi). This replaces the Manhattan distance SimPoint
+ * uses and is insensitive to slightly different sample lengths.
+ */
+
+#ifndef PGSS_BBV_BBV_MATH_HH
+#define PGSS_BBV_BBV_MATH_HH
+
+#include <vector>
+
+namespace pgss::bbv
+{
+
+/** Scale @p v to unit L2 norm (left untouched when all-zero). */
+void normalizeL2(std::vector<double> &v);
+
+/** Scale @p v to unit L1 norm (left untouched when all-zero). */
+void normalizeL1(std::vector<double> &v);
+
+/** Dot product. @pre equal sizes. */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Euclidean norm. */
+double norm(const std::vector<double> &v);
+
+/**
+ * Angle in radians between two vectors, in [0, pi]. Inputs need not be
+ * normalised. Zero vectors compare at angle 0 to anything (they carry
+ * no signature to distinguish).
+ */
+double angleBetween(const std::vector<double> &a,
+                    const std::vector<double> &b);
+
+/**
+ * Angle between two already-L2-normalised vectors (the hot-path
+ * variant used by phase detection: one dot product and an acos).
+ */
+double angleBetweenUnit(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+} // namespace pgss::bbv
+
+#endif // PGSS_BBV_BBV_MATH_HH

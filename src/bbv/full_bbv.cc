@@ -1,0 +1,26 @@
+#include "bbv/full_bbv.hh"
+
+#include <algorithm>
+
+namespace pgss::bbv
+{
+
+SparseBbv
+FullBbvCollector::harvest()
+{
+    SparseBbv v;
+    v.reserve(counts_.size());
+    std::uint64_t total = 0;
+    for (const auto &[addr, count] : counts_)
+        total += count;
+    if (total > 0) {
+        for (const auto &[addr, count] : counts_)
+            v.emplace_back(addr,
+                           static_cast<double>(count) / total);
+        std::sort(v.begin(), v.end());
+    }
+    counts_.clear();
+    return v;
+}
+
+} // namespace pgss::bbv

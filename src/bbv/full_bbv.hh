@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Full (unhashed) basic-block vectors keyed by branch address, as the
+ * offline SimPoint flow collects them. Each interval's sparse vector
+ * is L1-normalised (fractions of execution) for clustering.
+ */
+
+#ifndef PGSS_BBV_FULL_BBV_HH
+#define PGSS_BBV_FULL_BBV_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pgss::bbv
+{
+
+/** Sparse BBV: (branch address, weight) pairs, sorted by address. */
+using SparseBbv = std::vector<std::pair<std::uint64_t, double>>;
+
+/** Accumulates one interval's full BBV. */
+class FullBbvCollector
+{
+  public:
+    /** Record a taken branch and its preceding instruction count. */
+    void
+    onTakenBranch(std::uint64_t branch_addr,
+                  std::uint64_t ops_since_last)
+    {
+        counts_[branch_addr] += ops_since_last;
+    }
+
+    /**
+     * Produce the L1-normalised sparse BBV for the interval just
+     * ended and clear state for the next interval.
+     */
+    SparseBbv harvest();
+
+    /** Clear without producing a vector. */
+    void reset() { counts_.clear(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+} // namespace pgss::bbv
+
+#endif // PGSS_BBV_FULL_BBV_HH

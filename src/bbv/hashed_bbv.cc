@@ -1,0 +1,75 @@
+#include "bbv/hashed_bbv.hh"
+
+#include <algorithm>
+
+#include "bbv/bbv_math.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace pgss::bbv
+{
+
+BitSelectHash::BitSelectHash(const HashedBbvConfig &config)
+{
+    using util::panicIf;
+    panicIf(config.hash_bits == 0 || config.hash_bits > 12,
+            "hash bits out of range");
+    panicIf(config.bit_range_hi <= config.bit_range_lo,
+            "empty hash bit range");
+    const std::uint32_t span =
+        config.bit_range_hi - config.bit_range_lo;
+    panicIf(span < config.hash_bits,
+            "hash bit range narrower than hash width");
+
+    util::Rng rng(config.seed);
+    const auto picks = rng.sampleDistinct(config.hash_bits, span);
+    bits_.reserve(config.hash_bits);
+    for (std::uint32_t p : picks)
+        bits_.push_back(config.bit_range_lo + p);
+    std::sort(bits_.begin(), bits_.end());
+}
+
+std::uint32_t
+BitSelectHash::operator()(std::uint64_t addr) const
+{
+    std::uint32_t index = 0;
+    for (std::uint32_t b : bits_)
+        index = (index << 1) | static_cast<std::uint32_t>(
+                                   (addr >> b) & 1);
+    return index;
+}
+
+HashedBbv::HashedBbv(const HashedBbvConfig &config)
+    : config_(config), hash_(config),
+      accum_(std::size_t{1} << config.hash_bits, 0)
+{
+}
+
+std::vector<double>
+HashedBbv::harvest()
+{
+    std::vector<double> v(accum_.size());
+    for (std::size_t i = 0; i < accum_.size(); ++i)
+        v[i] = static_cast<double>(accum_[i]);
+    normalizeL2(v);
+    reset();
+    return v;
+}
+
+std::vector<double>
+HashedBbv::harvestRaw()
+{
+    std::vector<double> v(accum_.size());
+    for (std::size_t i = 0; i < accum_.size(); ++i)
+        v[i] = static_cast<double>(accum_[i]);
+    reset();
+    return v;
+}
+
+void
+HashedBbv::reset()
+{
+    std::fill(accum_.begin(), accum_.end(), 0);
+}
+
+} // namespace pgss::bbv

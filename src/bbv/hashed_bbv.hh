@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The paper's Figure-4 phase-tracking hardware, in software: every
+ * taken branch sends its address through a hash that selects a fixed
+ * set of randomly-chosen bits and concatenates them into an index into
+ * a small accumulator file; the indexed accumulator is incremented by
+ * the number of instructions retired since the last taken branch. At
+ * the end of each sampling period the accumulators are harvested into
+ * an L2-normalised BBV.
+ */
+
+#ifndef PGSS_BBV_HASHED_BBV_HH
+#define PGSS_BBV_HASHED_BBV_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pgss::bbv
+{
+
+/** Hash and accumulator-file geometry. */
+struct HashedBbvConfig
+{
+    /** Number of address bits selected (register count = 2^bits). */
+    std::uint32_t hash_bits = 5;
+
+    /**
+     * Range [lo, hi) of address bit positions the hash may select
+     * from. The paper selects from the full 32-bit branch address;
+     * our synthetic programs are small, so the default covers the
+     * byte-address range their code actually spans.
+     */
+    std::uint32_t bit_range_lo = 2;
+    std::uint32_t bit_range_hi = 14;
+
+    /** Seed for the random-but-fixed bit selection. */
+    std::uint64_t seed = 0xb5297a4d;
+};
+
+/** The address hash: selects and concatenates the configured bits. */
+class BitSelectHash
+{
+  public:
+    explicit BitSelectHash(const HashedBbvConfig &config);
+
+    /** Index for @p addr, in [0, 2^hash_bits). */
+    std::uint32_t operator()(std::uint64_t addr) const;
+
+    /** The selected bit positions (ascending), for diagnostics. */
+    const std::vector<std::uint32_t> &bits() const { return bits_; }
+
+  private:
+    std::vector<std::uint32_t> bits_;
+};
+
+/** Accumulator file plus harvest logic. */
+class HashedBbv
+{
+  public:
+    explicit HashedBbv(const HashedBbvConfig &config = {});
+
+    /**
+     * Record a taken branch.
+     * @param branch_addr byte address of the branch.
+     * @param ops_since_last retired instructions since the previous
+     *        taken branch.
+     */
+    void
+    onTakenBranch(std::uint64_t branch_addr,
+                  std::uint64_t ops_since_last)
+    {
+        accum_[hash_(branch_addr)] += ops_since_last;
+    }
+
+    /**
+     * Produce the L2-normalised BBV for the period just ended and
+     * clear the accumulators for the next period.
+     */
+    std::vector<double> harvest();
+
+    /**
+     * Like harvest() but without normalisation: the raw accumulator
+     * values as doubles. Used by profile building, where coarser
+     * granularities are later formed by summing raw vectors.
+     */
+    std::vector<double> harvestRaw();
+
+    /** Clear accumulators without producing a vector. */
+    void reset();
+
+    /** Register-file size. */
+    std::size_t size() const { return accum_.size(); }
+
+    /** Raw accumulator values (testing/diagnostics). */
+    const std::vector<std::uint64_t> &raw() const { return accum_; }
+
+    const HashedBbvConfig &config() const { return config_; }
+
+  private:
+    HashedBbvConfig config_;
+    BitSelectHash hash_;
+    std::vector<std::uint64_t> accum_;
+};
+
+} // namespace pgss::bbv
+
+#endif // PGSS_BBV_HASHED_BBV_HH

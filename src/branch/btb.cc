@@ -1,0 +1,98 @@
+#include "branch/btb.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace pgss::branch
+{
+
+Btb::Btb(std::uint32_t entries)
+    : tags_(entries, 0), targets_(entries, 0), valid_(entries, 0),
+      mask_(entries - 1)
+{
+    util::panicIf(!std::has_single_bit(entries),
+                  "BTB size must be a power of two");
+}
+
+std::uint32_t
+Btb::index(std::uint64_t pc) const
+{
+    return static_cast<std::uint32_t>(pc) & mask_;
+}
+
+bool
+Btb::lookup(std::uint64_t pc, std::uint64_t &target) const
+{
+    const std::uint32_t i = index(pc);
+    if (!valid_[i] || tags_[i] != pc)
+        return false;
+    target = targets_[i];
+    return true;
+}
+
+void
+Btb::update(std::uint64_t pc, std::uint64_t target)
+{
+    const std::uint32_t i = index(pc);
+    tags_[i] = pc;
+    targets_[i] = target;
+    valid_[i] = 1;
+}
+
+void
+Btb::reset()
+{
+    std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+Btb::State
+Btb::state() const
+{
+    return {tags_, targets_, valid_};
+}
+
+void
+Btb::setState(const State &st)
+{
+    util::panicIf(st.tags.size() != tags_.size(),
+                  "BTB state size mismatch");
+    tags_ = st.tags;
+    targets_ = st.targets;
+    valid_ = st.valid;
+}
+
+ReturnAddressStack::ReturnAddressStack(std::uint32_t depth)
+    : stack_(depth, 0)
+{
+    util::panicIf(depth == 0, "RAS depth must be nonzero");
+}
+
+void
+ReturnAddressStack::push(std::uint64_t addr)
+{
+    top_ = (top_ + 1) % stack_.size();
+    stack_[top_] = addr;
+    if (count_ < stack_.size())
+        ++count_;
+}
+
+std::uint64_t
+ReturnAddressStack::pop()
+{
+    if (count_ == 0)
+        return 0;
+    const std::uint64_t addr = stack_[top_];
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --count_;
+    return addr;
+}
+
+void
+ReturnAddressStack::reset()
+{
+    top_ = 0;
+    count_ = 0;
+}
+
+} // namespace pgss::branch

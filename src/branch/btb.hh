@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Branch target buffer and return-address stack. The timing model
+ * charges a misfetch penalty when a taken branch's target is absent or
+ * wrong in the BTB even if the direction was predicted correctly.
+ */
+
+#ifndef PGSS_BRANCH_BTB_HH
+#define PGSS_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pgss::branch
+{
+
+/** Direct-mapped, tagged branch target buffer. */
+class Btb
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit Btb(std::uint32_t entries = 2048);
+
+    /**
+     * Look up the predicted target for the branch at @p pc.
+     * @param[out] target predicted target when the lookup hits.
+     * @return true on a tag hit.
+     */
+    bool lookup(std::uint64_t pc, std::uint64_t &target) const;
+
+    /** Install/refresh the mapping pc -> target. */
+    void update(std::uint64_t pc, std::uint64_t target);
+
+    /** Clear all entries. */
+    void reset();
+
+    /** Serialized state for checkpointing. */
+    struct State
+    {
+        std::vector<std::uint64_t> tags;
+        std::vector<std::uint64_t> targets;
+        std::vector<std::uint8_t> valid;
+    };
+
+    State state() const;
+    void setState(const State &st);
+
+  private:
+    std::uint32_t index(std::uint64_t pc) const;
+
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> targets_;
+    std::vector<std::uint8_t> valid_;
+    std::uint32_t mask_;
+};
+
+/** Fixed-depth return-address stack with wrap-around overflow. */
+class ReturnAddressStack
+{
+  public:
+    /** @param depth number of entries. */
+    explicit ReturnAddressStack(std::uint32_t depth = 16);
+
+    /** Push a return address at a call. */
+    void push(std::uint64_t addr);
+
+    /**
+     * Pop the predicted return address.
+     * @return the top entry, or 0 when empty.
+     */
+    std::uint64_t pop();
+
+    /** Current occupancy. */
+    std::uint32_t size() const { return count_; }
+
+    /** Empty the stack. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    std::uint32_t top_ = 0;
+    std::uint32_t count_ = 0;
+};
+
+} // namespace pgss::branch
+
+#endif // PGSS_BRANCH_BTB_HH

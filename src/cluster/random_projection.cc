@@ -1,0 +1,37 @@
+#include "cluster/random_projection.hh"
+
+#include "util/random.hh"
+
+namespace pgss::cluster
+{
+
+RandomProjection::RandomProjection(std::uint32_t dims,
+                                   std::uint64_t seed)
+    : dims_(dims), seed_(seed)
+{
+}
+
+std::vector<double>
+RandomProjection::project(const bbv::SparseBbv &v) const
+{
+    std::vector<double> out(dims_, 0.0);
+    for (const auto &[addr, weight] : v) {
+        // Deterministic projection row for this feature.
+        util::Rng rng(seed_ ^ (addr * 0x9e3779b97f4a7c15ull));
+        for (std::uint32_t d = 0; d < dims_; ++d)
+            out[d] += weight * rng.nextGaussian();
+    }
+    return out;
+}
+
+std::vector<std::vector<double>>
+RandomProjection::projectAll(const std::vector<bbv::SparseBbv> &vs) const
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(vs.size());
+    for (const auto &v : vs)
+        out.push_back(project(v));
+    return out;
+}
+
+} // namespace pgss::cluster

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Random projection of sparse basic-block vectors into a small dense
+ * space, as SimPoint 3.0 does before clustering (it projects BBVs to
+ * 15 dimensions). The projection row for each feature (branch
+ * address) is generated deterministically from the feature id, so
+ * vectors can be projected without materialising a global dictionary.
+ */
+
+#ifndef PGSS_CLUSTER_RANDOM_PROJECTION_HH
+#define PGSS_CLUSTER_RANDOM_PROJECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bbv/full_bbv.hh"
+
+namespace pgss::cluster
+{
+
+/** Projects sparse BBVs to @p dims dense dimensions. */
+class RandomProjection
+{
+  public:
+    /**
+     * @param dims output dimensionality (SimPoint uses 15).
+     * @param seed projection seed (fixed per analysis).
+     */
+    explicit RandomProjection(std::uint32_t dims = 15,
+                              std::uint64_t seed = 0x51f15eed);
+
+    /** Project one sparse vector. */
+    std::vector<double> project(const bbv::SparseBbv &v) const;
+
+    /** Project a batch. */
+    std::vector<std::vector<double>>
+    projectAll(const std::vector<bbv::SparseBbv> &vs) const;
+
+    std::uint32_t dims() const { return dims_; }
+
+  private:
+    std::uint32_t dims_;
+    std::uint64_t seed_;
+};
+
+} // namespace pgss::cluster
+
+#endif // PGSS_CLUSTER_RANDOM_PROJECTION_HH

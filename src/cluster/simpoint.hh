@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The offline SimPoint analysis: project per-interval BBVs, cluster
+ * with k-means, and select one representative interval per cluster
+ * with a weight equal to the cluster's share of execution. Program
+ * performance is then estimated as the weighted sum of the
+ * representatives' detailed-simulation results.
+ */
+
+#ifndef PGSS_CLUSTER_SIMPOINT_HH
+#define PGSS_CLUSTER_SIMPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bbv/full_bbv.hh"
+#include "cluster/kmeans.hh"
+
+namespace pgss::cluster
+{
+
+/** The chosen simulation points. */
+struct SimPointSelection
+{
+    std::vector<std::uint32_t> rep_intervals; ///< one per cluster
+    std::vector<double> weights;              ///< sum to 1
+    KMeansResult clustering;
+};
+
+/**
+ * Run the SimPoint selection.
+ * @param interval_bbvs per-interval full BBVs, in execution order.
+ * @param k number of clusters (phases).
+ * @param dims random-projection dimensionality.
+ * @param seed clustering/projection seed.
+ */
+SimPointSelection
+selectSimPoints(const std::vector<bbv::SparseBbv> &interval_bbvs,
+                std::uint32_t k, std::uint32_t dims = 15,
+                std::uint64_t seed = 0xc1a55e5);
+
+} // namespace pgss::cluster
+
+#endif // PGSS_CLUSTER_SIMPOINT_HH

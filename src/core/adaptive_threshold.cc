@@ -1,0 +1,89 @@
+#include "core/adaptive_threshold.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgss::core
+{
+
+AdaptiveThreshold::AdaptiveThreshold(
+    const AdaptiveThresholdConfig &config, double initial_threshold)
+    : config_(config), threshold_(initial_threshold)
+{
+}
+
+void
+AdaptiveThreshold::onPeriod(const PhaseTable &table, bool created_phase)
+{
+    if (!config_.enabled)
+        return;
+
+    if (created_phase) {
+        ++creations_in_window_;
+        // Redundant creation: the newest phase's sampled CPI sits
+        // within the margin of another phase's — the BBVs differed
+        // but the performance did not (a false positive in the
+        // Figure-6 sense).
+        const Phase &newest = table.phases().back();
+        if (newest.sampleCount() > 0) {
+            for (const Phase &other : table.phases()) {
+                if (other.id() == newest.id() ||
+                    other.sampleCount() == 0)
+                    continue;
+                const double ref = std::abs(other.cpi().mean());
+                if (ref > 0.0 &&
+                    std::abs(newest.cpi().mean() - other.cpi().mean()) <
+                        config_.redundant_cpi_margin * ref) {
+                    ++redundant_in_window_;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (++periods_since_adjust_ >= config_.adjust_interval) {
+        adjust(table);
+        periods_since_adjust_ = 0;
+        creations_in_window_ = 0;
+        redundant_in_window_ = 0;
+    }
+}
+
+void
+AdaptiveThreshold::adjust(const PhaseTable &table)
+{
+    // Pooled within-phase CPI dispersion, weighted by occupancy.
+    double cov_num = 0.0;
+    double cov_den = 0.0;
+    for (const Phase &p : table.phases()) {
+        if (p.sampleCount() < 2)
+            continue;
+        const double w = static_cast<double>(p.memberPeriods());
+        cov_num += w * p.cpi().cov();
+        cov_den += w;
+    }
+    const double pooled_cov = cov_den > 0.0 ? cov_num / cov_den : 0.0;
+
+    const bool too_many_false_positives =
+        creations_in_window_ > 0 &&
+        static_cast<double>(redundant_in_window_) /
+                static_cast<double>(creations_in_window_) >
+            config_.max_redundant_fraction;
+
+    double next = threshold_;
+    if (pooled_cov > config_.max_phase_cov) {
+        // Phases too coarse: tighten so real changes split off.
+        next = threshold_ / config_.step;
+    } else if (too_many_false_positives) {
+        // Splitting hairs: relax to stop minting redundant phases.
+        next = threshold_ * config_.step;
+    }
+    next = std::clamp(next, config_.min_threshold,
+                      config_.max_threshold);
+    if (next != threshold_) {
+        threshold_ = next;
+        ++adjustments_;
+    }
+}
+
+} // namespace pgss::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Runtime threshold adaptation — the paper's future-work item
+ * ("ideally, the algorithm would adapt at runtime to program
+ * characteristics"). Two proxies steer the BBV angle threshold
+ * between bounds: redundant phase creations (a new phase whose CPI
+ * turns out to match an existing phase — evidence the threshold is
+ * too low and is producing false positives) push it up; high pooled
+ * within-phase CPI dispersion (evidence phases lump distinct
+ * behaviours together) pushes it down.
+ */
+
+#ifndef PGSS_CORE_ADAPTIVE_THRESHOLD_HH
+#define PGSS_CORE_ADAPTIVE_THRESHOLD_HH
+
+#include <cstdint>
+
+#include "core/pgss_config.hh"
+#include "core/phase_table.hh"
+
+namespace pgss::core
+{
+
+/** Tracks the proxies and nudges the threshold. */
+class AdaptiveThreshold
+{
+  public:
+    AdaptiveThreshold(const AdaptiveThresholdConfig &config,
+                      double initial_threshold);
+
+    /** Current threshold in radians. */
+    double threshold() const { return threshold_; }
+
+    /** Notify that one BBV period was classified. */
+    void onPeriod(const PhaseTable &table, bool created_phase);
+
+    /** Number of adjustments made so far (diagnostics). */
+    std::uint32_t adjustments() const { return adjustments_; }
+
+  private:
+    void adjust(const PhaseTable &table);
+
+    AdaptiveThresholdConfig config_;
+    double threshold_;
+    std::uint32_t periods_since_adjust_ = 0;
+    std::uint32_t creations_in_window_ = 0;
+    std::uint32_t redundant_in_window_ = 0;
+    std::uint32_t adjustments_ = 0;
+};
+
+} // namespace pgss::core
+
+#endif // PGSS_CORE_ADAPTIVE_THRESHOLD_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The phase table and matching policy of the Figure-5 flow chart: a
+ * harvested BBV is first compared against the previous period's phase
+ * (no change is the common case), then against every known phase; if
+ * nothing falls within the angle threshold a new phase is created.
+ */
+
+#ifndef PGSS_CORE_PHASE_TABLE_HH
+#define PGSS_CORE_PHASE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phase.hh"
+
+namespace pgss::core
+{
+
+/** Outcome of classifying one period's BBV. */
+struct MatchResult
+{
+    std::uint32_t phase_id = 0;
+    bool created = false;        ///< a new phase was opened
+    bool changed = false;        ///< different phase than last period
+    double angle_to_last = 0.0;  ///< angle to previous period's phase
+};
+
+/** All phases seen so far plus the classification logic. */
+class PhaseTable
+{
+  public:
+    /**
+     * @param compare_last_first check the previous phase before
+     *        scanning the whole table (the paper's fast path).
+     */
+    explicit PhaseTable(bool compare_last_first = true);
+
+    /**
+     * Classify @p unit_bbv (must be L2-normalised) under @p threshold
+     * radians, updating match statistics and the winning phase's
+     * centroid/occupancy.
+     */
+    MatchResult classify(const std::vector<double> &unit_bbv,
+                         double threshold);
+
+    /** Number of phases. */
+    std::size_t size() const { return phases_.size(); }
+
+    /** Phase by id. */
+    Phase &phase(std::uint32_t id) { return phases_[id]; }
+    const Phase &phase(std::uint32_t id) const { return phases_[id]; }
+
+    /** All phases. */
+    const std::vector<Phase> &phases() const { return phases_; }
+    std::vector<Phase> &phases() { return phases_; }
+
+    /** Id of the phase the last period was classified into. */
+    std::uint32_t currentPhase() const { return current_; }
+
+    /** Total phase transitions observed. */
+    std::uint64_t phaseChanges() const { return changes_; }
+
+    /** True until the first classification happens. */
+    bool empty() const { return phases_.empty(); }
+
+  private:
+    bool compare_last_first_;
+    std::vector<Phase> phases_;
+    std::uint32_t current_ = 0;
+    std::uint64_t changes_ = 0;
+};
+
+} // namespace pgss::core
+
+#endif // PGSS_CORE_PHASE_TABLE_HH

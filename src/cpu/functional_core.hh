@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The functional simulator: interprets pre-decoded instructions and
+ * maintains the architectural state (register file, PC, data memory).
+ * This is the always-on layer; fast-forwarding runs it alone, detailed
+ * modes feed its retired-instruction records into the timing model.
+ */
+
+#ifndef PGSS_CPU_FUNCTIONAL_CORE_HH
+#define PGSS_CPU_FUNCTIONAL_CORE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/dyn_inst.hh"
+#include "isa/program.hh"
+#include "mem/main_memory.hh"
+
+namespace pgss::cpu
+{
+
+/**
+ * Executes one program against one memory image. The core never
+ * allocates on the execution path; step() fills a caller-provided
+ * DynInst record.
+ */
+class FunctionalCore
+{
+  public:
+    /**
+     * Bind to @p program and @p memory (both owned by the caller and
+     * must outlive the core).
+     */
+    FunctionalCore(const isa::Program &program, mem::MainMemory &memory);
+
+    /**
+     * Execute the instruction at the current PC.
+     * @param[out] rec retired-instruction record.
+     * @return false once the program has executed Halt (the halting
+     *         Halt itself returns true; subsequent calls return false
+     *         without executing anything).
+     */
+    bool step(DynInst &rec);
+
+    /** True after Halt has retired. */
+    bool halted() const { return halted_; }
+
+    /** Current PC (instruction index). */
+    std::uint64_t pc() const { return pc_; }
+
+    /** Force the PC (used by checkpoint restore). */
+    void setPc(std::uint64_t pc) { pc_ = pc; }
+
+    /** Clear halt state (used by checkpoint restore). */
+    void setHalted(bool halted) { halted_ = halted; }
+
+    /** Read architectural register @p r. */
+    std::uint64_t reg(int r) const { return regs_[r]; }
+
+    /** Write architectural register @p r (writes to r0 are ignored). */
+    void setReg(int r, std::uint64_t v);
+
+    /** Whole register file, for checkpointing. */
+    const std::array<std::uint64_t, isa::num_regs> &regs() const
+    {
+        return regs_;
+    }
+
+    /** Restore the register file. */
+    void setRegs(const std::array<std::uint64_t, isa::num_regs> &r)
+    {
+        regs_ = r;
+    }
+
+    /** Total instructions retired since construction. */
+    std::uint64_t retired() const { return retired_; }
+
+    /** Restore the retired-instruction counter (checkpoint restore). */
+    void setRetired(std::uint64_t retired) { retired_ = retired; }
+
+    /** The bound program. */
+    const isa::Program &program() const { return program_; }
+
+    /** The bound memory. */
+    mem::MainMemory &memory() { return memory_; }
+
+  private:
+    const isa::Program &program_;
+    mem::MainMemory &memory_;
+    std::array<std::uint64_t, isa::num_regs> regs_{};
+    std::uint64_t pc_;
+    std::uint64_t retired_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace pgss::cpu
+
+#endif // PGSS_CPU_FUNCTIONAL_CORE_HH

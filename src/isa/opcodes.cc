@@ -1,0 +1,63 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace pgss::isa
+{
+
+namespace
+{
+
+constexpr std::array<OpInfo, num_opcodes> op_table = {{
+    // mnemonic  class              rs1    rs2    rd     br     jmp
+    {"add",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"sub",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"and",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"or",    OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"xor",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"sll",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"srl",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"sra",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"slt",   OpClass::IntAlu,   true,  true,  true,  false, false},
+    {"addi",  OpClass::IntAlu,   true,  false, true,  false, false},
+    {"andi",  OpClass::IntAlu,   true,  false, true,  false, false},
+    {"ori",   OpClass::IntAlu,   true,  false, true,  false, false},
+    {"xori",  OpClass::IntAlu,   true,  false, true,  false, false},
+    {"slti",  OpClass::IntAlu,   true,  false, true,  false, false},
+    {"lui",   OpClass::IntAlu,   false, false, true,  false, false},
+    {"mul",   OpClass::IntMul,   true,  true,  true,  false, false},
+    {"div",   OpClass::IntDiv,   true,  true,  true,  false, false},
+    {"fadd",  OpClass::FpAdd,    true,  true,  true,  false, false},
+    {"fmul",  OpClass::FpMul,    true,  true,  true,  false, false},
+    {"fdiv",  OpClass::FpDiv,    true,  true,  true,  false, false},
+    {"ld",    OpClass::MemRead,  true,  false, true,  false, false},
+    {"st",    OpClass::MemWrite, true,  true,  false, false, false},
+    {"beq",   OpClass::Control,  true,  true,  false, true,  false},
+    {"bne",   OpClass::Control,  true,  true,  false, true,  false},
+    {"blt",   OpClass::Control,  true,  true,  false, true,  false},
+    {"bge",   OpClass::Control,  true,  true,  false, true,  false},
+    {"jal",   OpClass::Control,  false, false, true,  false, true},
+    {"jalr",  OpClass::Control,  true,  false, true,  false, true},
+    {"nop",   OpClass::NoOp,     false, false, false, false, false},
+    {"halt",  OpClass::NoOp,     false, false, false, false, false},
+}};
+
+} // anonymous namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    util::panicIf(idx >= num_opcodes, "opInfo: opcode out of range");
+    return op_table[idx];
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+} // namespace pgss::isa

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Opcode set of the PGSS-Sim RISC ISA. The ISA mirrors the flavour of
+ * machine the paper simulated with the IMPACT tool chain: a simple
+ * load/store RISC with integer, floating-point, memory, and control
+ * operations. It is deliberately small — just enough for the synthetic
+ * workload generator to express realistic kernels — but fully executed,
+ * not traced.
+ */
+
+#ifndef PGSS_ISA_OPCODES_HH
+#define PGSS_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pgss::isa
+{
+
+/** Operation codes. Register width is 64 bits throughout. */
+enum class Opcode : std::uint8_t
+{
+    // Integer ALU, register-register.
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt,
+    // Integer ALU, register-immediate.
+    Addi, Andi, Ori, Xori, Slti, Lui,
+    // Long-latency integer.
+    Mul, Div,
+    // Floating point (operands are IEEE-754 doubles held in the
+    // integer register file as bit patterns).
+    Fadd, Fmul, Fdiv,
+    // Memory: 64-bit word load/store, address = regs[rs1] + imm
+    // (byte address, must be 8-byte aligned).
+    Ld, St,
+    // Control: conditional branches compare rs1 against rs2; target is
+    // an absolute instruction index in imm.
+    Beq, Bne, Blt, Bge,
+    // Unconditional: Jal writes the return index to rd and jumps to
+    // imm; Jalr jumps to regs[rs1] + imm.
+    Jal, Jalr,
+    // No operation and program termination.
+    Nop, Halt,
+
+    NumOpcodes
+};
+
+/** Number of opcodes, as a plain constant for table sizing. */
+constexpr std::size_t num_opcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+/** Broad functional classes used by the timing model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,    ///< single-cycle integer
+    IntMul,    ///< pipelined multiply
+    IntDiv,    ///< unpipelined divide
+    FpAdd,     ///< floating add/sub
+    FpMul,     ///< floating multiply
+    FpDiv,     ///< unpipelined floating divide
+    MemRead,   ///< load
+    MemWrite,  ///< store
+    Control,   ///< branch/jump
+    NoOp       ///< nop/halt
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic; ///< textual name for disassembly
+    OpClass op_class;          ///< functional class
+    bool reads_rs1;            ///< consumes regs[rs1]
+    bool reads_rs2;            ///< consumes regs[rs2]
+    bool writes_rd;            ///< produces regs[rd]
+    bool is_branch;            ///< conditional control transfer
+    bool is_jump;              ///< unconditional control transfer
+};
+
+/** Property lookup for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Convenience: mnemonic for @p op. */
+std::string_view mnemonic(Opcode op);
+
+} // namespace pgss::isa
+
+#endif // PGSS_ISA_OPCODES_HH

@@ -1,0 +1,34 @@
+#include "sampling/checkpointed.hh"
+
+namespace pgss::sampling
+{
+
+CheckpointedMeasurement
+measureWindowsViaLibrary(const isa::Program &program,
+                         const sim::EngineConfig &config,
+                         const sim::CheckpointLibrary &library,
+                         const std::vector<std::uint64_t> &positions,
+                         std::uint64_t detailed_warmup,
+                         std::uint64_t detailed_sample)
+{
+    CheckpointedMeasurement out;
+    sim::SimulationEngine engine(program, config);
+
+    for (const std::uint64_t pos : positions) {
+        const sim::SeekResult seek = library.seekTo(engine, pos);
+        out.warmed_ops += seek.warmed_ops;
+        out.restores += seek.from_checkpoint ? 1 : 0;
+
+        engine.run(detailed_warmup, sim::SimMode::DetailedWarm);
+        const sim::RunResult meas =
+            engine.run(detailed_sample, sim::SimMode::DetailedMeasure);
+        out.cpis.push_back(
+            meas.ops > 0 ? static_cast<double>(meas.cycles) /
+                               static_cast<double>(meas.ops)
+                         : 0.0);
+    }
+    out.detailed_ops = engine.modeOps().detailed();
+    return out;
+}
+
+} // namespace pgss::sampling

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Checkpoint-accelerated sample measurement — the concrete payoff of
+ * the paper's live-points future-work item. Given a recorded
+ * CheckpointLibrary, a set of sample positions can be measured in
+ * ANY order (e.g. TurboSMARTS random order, or re-measured under new
+ * sampler parameters) at a cost of at most one checkpoint stride of
+ * functional warming per sample, instead of fast-forwarding from the
+ * start of the program.
+ */
+
+#ifndef PGSS_SAMPLING_CHECKPOINTED_HH
+#define PGSS_SAMPLING_CHECKPOINTED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/checkpoint_library.hh"
+#include "sim/engine.hh"
+
+namespace pgss::sampling
+{
+
+/** Result of measuring a batch of sample windows via checkpoints. */
+struct CheckpointedMeasurement
+{
+    /** Per-position CPI, in the order the positions were given. */
+    std::vector<double> cpis;
+
+    std::uint64_t warmed_ops = 0;   ///< functional warming spent
+    std::uint64_t detailed_ops = 0; ///< warm-up + measured windows
+    std::uint64_t restores = 0;     ///< checkpoints loaded
+};
+
+/**
+ * Measure a detailed window (3k warm-up + 1k measured by default) at
+ * each of @p positions, seeking through @p library.
+ * @param positions op counts at which windows begin; any order.
+ */
+CheckpointedMeasurement
+measureWindowsViaLibrary(const isa::Program &program,
+                         const sim::EngineConfig &config,
+                         const sim::CheckpointLibrary &library,
+                         const std::vector<std::uint64_t> &positions,
+                         std::uint64_t detailed_warmup = 3'000,
+                         std::uint64_t detailed_sample = 1'000);
+
+} // namespace pgss::sampling
+
+#endif // PGSS_SAMPLING_CHECKPOINTED_HH

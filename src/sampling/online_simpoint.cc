@@ -1,0 +1,49 @@
+#include "sampling/online_simpoint.hh"
+
+#include "analysis/phase_sequence.hh"
+#include "util/logging.hh"
+
+namespace pgss::sampling
+{
+
+SamplerResult
+runOnlineSimPoint(const analysis::IntervalProfile &profile,
+                  const OnlineSimPointConfig &config)
+{
+    util::panicIf(config.interval_ops % profile.intervalOps() != 0,
+                  "Online SimPoint interval must be a multiple of "
+                  "the profile granularity");
+    const auto factor = static_cast<std::uint32_t>(
+        config.interval_ops / profile.intervalOps());
+
+    const analysis::IntervalProfile coarse =
+        factor == 1 ? profile : profile.aggregate(factor);
+
+    SamplerResult res;
+    res.technique = "OnlineSimPoint";
+    if (coarse.intervals() == 0)
+        return res;
+
+    const analysis::PhaseSequence seq =
+        analysis::classifyProfile(coarse, config.threshold);
+
+    // One large sample per phase: its first occurrence.
+    double est_cpi = 0.0;
+    double total_weight = 0.0;
+    for (std::uint32_t p = 0; p < seq.n_phases; ++p) {
+        const double w = static_cast<double>(seq.occupancy[p]);
+        est_cpi += w * coarse.intervalCpi(seq.first_interval[p]);
+        total_weight += w;
+    }
+    if (total_weight > 0.0)
+        est_cpi /= total_weight;
+
+    res.est_cpi = est_cpi;
+    res.est_ipc = est_cpi > 0.0 ? 1.0 / est_cpi : 0.0;
+    res.n_samples = seq.n_phases;
+    res.detailed_ops = seq.n_phases * config.interval_ops;
+    res.functional_ops = profile.totalOps();
+    return res;
+}
+
+} // namespace pgss::sampling

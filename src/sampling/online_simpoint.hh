@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Online SimPoint baseline (Pereira et al., CODES+ISSS 2005):
+ * phases are tracked online from BBVs at a coarse interval size and
+ * one large sample — the phase's first occurrence — is detailed per
+ * phase. Following the paper's evaluation, a perfect phase predictor
+ * is assumed: the phase sequence is taken from the recorded profile,
+ * and the first-occurrence interval's performance stands in for the
+ * whole phase.
+ */
+
+#ifndef PGSS_SAMPLING_ONLINE_SIMPOINT_HH
+#define PGSS_SAMPLING_ONLINE_SIMPOINT_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "analysis/interval_profile.hh"
+#include "sampling/sampler.hh"
+
+namespace pgss::sampling
+{
+
+/** Online SimPoint parameters. */
+struct OnlineSimPointConfig
+{
+    std::uint64_t interval_ops = 10'000'000;
+    double threshold = 0.1 * M_PI; ///< BBV angle threshold (radians)
+};
+
+/**
+ * Run Online SimPoint over a recorded profile.
+ * @param profile ground truth at a granularity dividing
+ *        config.interval_ops.
+ */
+SamplerResult
+runOnlineSimPoint(const analysis::IntervalProfile &profile,
+                  const OnlineSimPointConfig &config = {});
+
+} // namespace pgss::sampling
+
+#endif // PGSS_SAMPLING_ONLINE_SIMPOINT_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Common result type for every sampling technique. "Detailed ops"
+ * counts both detailed warming and measured windows (the paper counts
+ * them together, since warming is as slow as measurement);
+ * "functional ops" counts fast-forwarded instructions.
+ */
+
+#ifndef PGSS_SAMPLING_SAMPLER_HH
+#define PGSS_SAMPLING_SAMPLER_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace pgss::sampling
+{
+
+/** What a sampling technique reports for one workload. */
+struct SamplerResult
+{
+    std::string technique;
+    double est_cpi = 0.0;
+    double est_ipc = 0.0;
+    std::uint64_t n_samples = 0;
+    std::uint64_t detailed_ops = 0;   ///< warming + measured windows
+    std::uint64_t functional_ops = 0; ///< fast-forwarded instructions
+
+    /** Relative IPC error against @p true_ipc. */
+    double
+    errorVs(double true_ipc) const
+    {
+        return true_ipc > 0.0 ? std::abs(est_ipc - true_ipc) / true_ipc
+                              : 0.0;
+    }
+};
+
+} // namespace pgss::sampling
+
+#endif // PGSS_SAMPLING_SAMPLER_HH

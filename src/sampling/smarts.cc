@@ -1,0 +1,41 @@
+#include "sampling/smarts.hh"
+
+#include "stats/running_stats.hh"
+
+namespace pgss::sampling
+{
+
+SmartsRun
+runSmarts(sim::SimulationEngine &engine, const SmartsConfig &config)
+{
+    SmartsRun run;
+    run.result.technique = "SMARTS";
+
+    stats::RunningStats cpi;
+    while (!engine.halted()) {
+        const sim::RunResult ff = engine.run(
+            config.ff_period, sim::SimMode::FunctionalWarm);
+        if (ff.ops == 0 || engine.halted())
+            break;
+        engine.run(config.detailed_warmup, sim::SimMode::DetailedWarm);
+        const sim::RunResult meas = engine.run(
+            config.detailed_sample, sim::SimMode::DetailedMeasure);
+        if (meas.ops == 0)
+            break;
+        const double sample_cpi = static_cast<double>(meas.cycles) /
+                                  static_cast<double>(meas.ops);
+        cpi.add(sample_cpi);
+        run.sample_cpis.push_back(sample_cpi);
+    }
+
+    run.result.est_cpi = cpi.mean();
+    run.result.est_ipc =
+        run.result.est_cpi > 0.0 ? 1.0 / run.result.est_cpi : 0.0;
+    run.result.n_samples = cpi.count();
+    run.result.detailed_ops = engine.modeOps().detailed();
+    run.result.functional_ops = engine.modeOps().functional_warm +
+                                engine.modeOps().functional_fast;
+    return run;
+}
+
+} // namespace pgss::sampling

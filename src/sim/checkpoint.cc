@@ -1,0 +1,106 @@
+#include "sim/checkpoint.hh"
+
+#include "util/serialize.hh"
+
+namespace pgss::sim
+{
+
+namespace
+{
+
+constexpr std::uint32_t ckpt_magic = 0x5047434b; // "PGCK"
+constexpr std::uint32_t ckpt_version = 1;
+
+void
+putCacheState(util::BinaryWriter &w, const mem::Cache::State &st)
+{
+    w.putU64Vec(st.tags);
+    w.putU64(st.valid.size());
+    for (std::uint8_t v : st.valid)
+        w.putU8(v);
+    w.putU64(st.dirty.size());
+    for (std::uint8_t v : st.dirty)
+        w.putU8(v);
+    w.putU64Vec(st.stamp);
+    w.putU64(st.tick);
+}
+
+mem::Cache::State
+getCacheState(util::BinaryReader &r)
+{
+    mem::Cache::State st;
+    st.tags = r.getU64Vec();
+    const std::uint64_t nv = r.getU64();
+    st.valid.resize(nv);
+    for (std::uint64_t i = 0; i < nv; ++i)
+        st.valid[i] = r.getU8();
+    const std::uint64_t nd = r.getU64();
+    st.dirty.resize(nd);
+    for (std::uint64_t i = 0; i < nd; ++i)
+        st.dirty[i] = r.getU8();
+    st.stamp = r.getU64Vec();
+    st.tick = r.getU64();
+    return st;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+Checkpoint::serialize() const
+{
+    util::BinaryWriter w(ckpt_magic, ckpt_version);
+    for (std::uint64_t reg : regs_)
+        w.putU64(reg);
+    w.putU64(pc_);
+    w.putU8(halted_ ? 1 : 0);
+    w.putU64(retired_);
+    w.putU64(ops_since_taken_);
+    w.putU64Vec(memory_words_);
+    putCacheState(w, hierarchy_.l1i);
+    putCacheState(w, hierarchy_.l1d);
+    putCacheState(w, hierarchy_.l2);
+    w.putU64(branch_.predictor.size());
+    for (std::uint8_t v : branch_.predictor)
+        w.putU8(v);
+    w.putU64Vec(branch_.btb.tags);
+    w.putU64Vec(branch_.btb.targets);
+    w.putU64(branch_.btb.valid.size());
+    for (std::uint8_t v : branch_.btb.valid)
+        w.putU8(v);
+    return w.bytes();
+}
+
+Checkpoint
+Checkpoint::deserialize(const std::vector<std::uint8_t> &data, bool &ok)
+{
+    Checkpoint c;
+    util::BinaryReader r(data, ckpt_magic, ckpt_version);
+    if (!r.ok()) {
+        ok = false;
+        return c;
+    }
+    for (std::uint64_t &reg : c.regs_)
+        reg = r.getU64();
+    c.pc_ = r.getU64();
+    c.halted_ = r.getU8() != 0;
+    c.retired_ = r.getU64();
+    c.ops_since_taken_ = r.getU64();
+    c.memory_words_ = r.getU64Vec();
+    c.hierarchy_.l1i = getCacheState(r);
+    c.hierarchy_.l1d = getCacheState(r);
+    c.hierarchy_.l2 = getCacheState(r);
+    const std::uint64_t np = r.getU64();
+    c.branch_.predictor.resize(np);
+    for (std::uint64_t i = 0; i < np; ++i)
+        c.branch_.predictor[i] = r.getU8();
+    c.branch_.btb.tags = r.getU64Vec();
+    c.branch_.btb.targets = r.getU64Vec();
+    const std::uint64_t nb = r.getU64();
+    c.branch_.btb.valid.resize(nb);
+    for (std::uint64_t i = 0; i < nb; ++i)
+        c.branch_.btb.valid[i] = r.getU8();
+    ok = r.ok();
+    return c;
+}
+
+} // namespace pgss::sim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Restartable simulation snapshots. A checkpoint captures everything
+ * needed to continue execution bit-identically: architectural state,
+ * the data-memory image, cache tags, and branch-predictor tables.
+ * TurboSMARTS-style random-order sample processing is built on such
+ * snapshots (the paper's live-points); here they are also used to
+ * validate engine determinism.
+ */
+
+#ifndef PGSS_SIM_CHECKPOINT_HH
+#define PGSS_SIM_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "mem/hierarchy.hh"
+#include "timing/branch_unit.hh"
+
+namespace pgss::sim
+{
+
+class SimulationEngine;
+
+/** A snapshot of one engine's simulation state. */
+class Checkpoint
+{
+  public:
+    Checkpoint() = default;
+
+    /** Serialize to bytes (for storing checkpoints on disk). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Rebuild from serialized bytes.
+     * @param[out] ok false when the blob is malformed.
+     */
+    static Checkpoint deserialize(const std::vector<std::uint8_t> &data,
+                                  bool &ok);
+
+    /** Total instructions retired at capture time. */
+    std::uint64_t retired() const { return retired_; }
+
+  private:
+    std::array<std::uint64_t, isa::num_regs> regs_{};
+    std::uint64_t pc_ = 0;
+    bool halted_ = false;
+    std::uint64_t retired_ = 0;
+    std::uint64_t ops_since_taken_ = 0;
+    std::vector<std::uint64_t> memory_words_;
+    mem::CacheHierarchy::State hierarchy_;
+    timing::BranchUnit::State branch_;
+
+    friend class SimulationEngine;
+};
+
+} // namespace pgss::sim
+
+#endif // PGSS_SIM_CHECKPOINT_HH

@@ -1,0 +1,187 @@
+#include "sim/checkpoint_library.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace pgss::sim
+{
+
+namespace
+{
+
+constexpr std::uint32_t meta_magic = 0x50474c42; // "PGLB"
+constexpr std::uint32_t meta_version = 1;
+
+/** FNV-1a over program identity (code + data + entry + config). */
+std::uint64_t
+programIdentity(const isa::Program &program, const EngineConfig &config)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const isa::Instruction &inst : program.code) {
+        mix(static_cast<std::uint64_t>(inst.op) |
+            (std::uint64_t{inst.rd} << 8) |
+            (std::uint64_t{inst.rs1} << 16) |
+            (std::uint64_t{inst.rs2} << 24));
+        mix(static_cast<std::uint64_t>(inst.imm));
+    }
+    mix(program.data_bytes);
+    mix(program.entry);
+    mix(config.hierarchy.l1d.size_bytes);
+    mix(config.hierarchy.l2.size_bytes);
+    mix(config.branch.predictor_entries);
+    return h;
+}
+
+} // anonymous namespace
+
+CheckpointLibrary::CheckpointLibrary(std::string directory)
+    : directory_(std::move(directory))
+{
+}
+
+std::string
+CheckpointLibrary::metaPath() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "/lib_%016llx.meta",
+                  static_cast<unsigned long long>(identity_));
+    return directory_ + buf;
+}
+
+std::string
+CheckpointLibrary::checkpointPath(std::uint64_t at_op) const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "/lib_%016llx_%012llu.ckpt",
+                  static_cast<unsigned long long>(identity_),
+                  static_cast<unsigned long long>(at_op));
+    return directory_ + buf;
+}
+
+std::size_t
+CheckpointLibrary::record(const isa::Program &program,
+                          const EngineConfig &config,
+                          std::uint64_t stride)
+{
+    util::panicIf(stride == 0, "checkpoint stride must be nonzero");
+    identity_ = programIdentity(program, config);
+    stride_ = stride;
+    positions_.clear();
+
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+
+    SimulationEngine engine(program, config);
+    bool at_start = true;
+    while (!engine.halted()) {
+        if (!at_start) {
+            const RunResult r =
+                engine.run(stride, SimMode::FunctionalWarm);
+            if (r.ops == 0)
+                break;
+            if (engine.halted())
+                break; // no point checkpointing the end
+        }
+        at_start = false;
+        const std::uint64_t at = engine.totalOps();
+        const Checkpoint ckpt = engine.checkpoint();
+        const auto bytes = ckpt.serialize();
+        std::ofstream out(checkpointPath(at),
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            util::warn("could not write checkpoint at %llu",
+                       static_cast<unsigned long long>(at));
+            continue;
+        }
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (out)
+            positions_.push_back(at);
+    }
+
+    util::BinaryWriter meta(meta_magic, meta_version);
+    meta.putU64(identity_);
+    meta.putU64(stride_);
+    meta.putU64Vec(positions_);
+    if (!meta.writeFile(metaPath()))
+        util::warn("could not write checkpoint library metadata");
+    return positions_.size();
+}
+
+bool
+CheckpointLibrary::open(const isa::Program &program,
+                        const EngineConfig &config)
+{
+    identity_ = programIdentity(program, config);
+    util::BinaryReader meta = util::BinaryReader::fromFile(
+        metaPath(), meta_magic, meta_version);
+    if (!meta.ok())
+        return false;
+    if (meta.getU64() != identity_)
+        return false;
+    stride_ = meta.getU64();
+    positions_ = meta.getU64Vec();
+    return meta.ok();
+}
+
+SeekResult
+CheckpointLibrary::seekTo(SimulationEngine &engine,
+                          std::uint64_t target_op) const
+{
+    util::panicIf(engine.totalOps() > target_op &&
+                      positions_.empty(),
+                  "cannot seek backwards without checkpoints");
+
+    SeekResult res;
+
+    // Best recorded position at or below the target (position 0 is
+    // always recorded).
+    bool have_best = false;
+    std::uint64_t best = 0;
+    for (std::uint64_t p : positions_) {
+        if (p > target_op)
+            break;
+        best = p;
+        have_best = true;
+    }
+
+    // Use the checkpoint only when it beats the engine's current
+    // position (and the engine is not already past the target).
+    const std::uint64_t here = engine.totalOps();
+    const bool engine_usable = here <= target_op;
+    if (have_best && (!engine_usable || best > here)) {
+        std::ifstream in(checkpointPath(best), std::ios::binary);
+        std::vector<std::uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        bool ok = false;
+        const Checkpoint ckpt = Checkpoint::deserialize(bytes, ok);
+        util::panicIf(!ok, "corrupt checkpoint in library");
+        engine.restore(ckpt);
+        res.restored_at = best;
+        res.from_checkpoint = true;
+    } else {
+        util::panicIf(!engine_usable,
+                      "cannot seek backwards without a suitable "
+                      "checkpoint");
+    }
+
+    const std::uint64_t gap = target_op - engine.totalOps();
+    if (gap > 0)
+        engine.run(gap, SimMode::FunctionalWarm);
+    res.warmed_ops = gap;
+    return res;
+}
+
+} // namespace pgss::sim

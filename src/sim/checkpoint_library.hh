@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A disk-backed checkpoint library — the paper's future-work item
+ * ("the livepoints used in [Wenisch et al.] could easily be used to
+ * accelerate PGSS"). One functional-warming recording pass stores
+ * full simulation checkpoints at a fixed stride; afterwards any
+ * position in the program can be reached by restoring the nearest
+ * checkpoint at or below it and functionally warming the remainder
+ * (at most one stride), instead of fast-forwarding from the start.
+ *
+ * This accelerates everything that revisits sample positions:
+ * random-order (TurboSMARTS-style) processing of sampling units,
+ * re-running a sampler with different parameters, and detailing
+ * SimPoint representatives without a fresh fast-forward pass.
+ *
+ * Unlike Wenisch's live-points, which store only the minimal state a
+ * single sampling unit consumes, these are complete checkpoints
+ * (architectural state, memory image, cache tags, predictor tables);
+ * the stride bounds their number, and they live on disk, not in
+ * memory.
+ */
+
+#ifndef PGSS_SIM_CHECKPOINT_LIBRARY_HH
+#define PGSS_SIM_CHECKPOINT_LIBRARY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/engine.hh"
+
+namespace pgss::sim
+{
+
+/** Accounting for one seek. */
+struct SeekResult
+{
+    std::uint64_t restored_at = 0; ///< checkpoint position used
+    std::uint64_t warmed_ops = 0;  ///< functional ops after restore
+    bool from_checkpoint = false;  ///< false: plain fast-forward
+};
+
+/** Builds, persists, and serves stride checkpoints for one program. */
+class CheckpointLibrary
+{
+  public:
+    /**
+     * @param directory where checkpoint files live (created on
+     *        record()).
+     */
+    explicit CheckpointLibrary(std::string directory);
+
+    /**
+     * Record checkpoints for @p program by running one functional-
+     * warming pass on a fresh engine.
+     * @param stride ops between checkpoints (the first is at
+     *        position 0, so any target is reachable).
+     * @return number of checkpoints written.
+     */
+    std::size_t record(const isa::Program &program,
+                       const EngineConfig &config,
+                       std::uint64_t stride);
+
+    /**
+     * Load an existing library for @p program from the directory
+     * (recorded earlier, possibly by another process).
+     * @return true when metadata was found and parsed.
+     */
+    bool open(const isa::Program &program, const EngineConfig &config);
+
+    /**
+     * Bring @p engine to exactly @p target_op retired instructions:
+     * restore the nearest checkpoint at or below the target (if the
+     * engine is not already closer) and functionally warm the rest.
+     * @pre engine was constructed on the recorded program/config.
+     */
+    SeekResult seekTo(SimulationEngine &engine,
+                      std::uint64_t target_op) const;
+
+    /** Recorded checkpoint positions, ascending. */
+    const std::vector<std::uint64_t> &positions() const
+    {
+        return positions_;
+    }
+
+    /** Stride used at record time (0 before record/open). */
+    std::uint64_t stride() const { return stride_; }
+
+  private:
+    std::string metaPath() const;
+    std::string checkpointPath(std::uint64_t at_op) const;
+    std::uint64_t identity_ = 0;
+
+    std::string directory_;
+    std::uint64_t stride_ = 0;
+    std::vector<std::uint64_t> positions_;
+};
+
+} // namespace pgss::sim
+
+#endif // PGSS_SIM_CHECKPOINT_LIBRARY_HH

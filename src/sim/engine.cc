@@ -1,0 +1,218 @@
+#include "sim/engine.hh"
+
+#include "sim/checkpoint.hh"
+#include "util/logging.hh"
+
+namespace pgss::sim
+{
+
+const char *
+modeName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::FunctionalFast:
+        return "functional-fast";
+      case SimMode::FunctionalWarm:
+        return "functional-warm";
+      case SimMode::DetailedWarm:
+        return "detailed-warm";
+      case SimMode::DetailedMeasure:
+        return "detailed-measure";
+    }
+    return "unknown";
+}
+
+SimulationEngine::SimulationEngine(const isa::Program &program,
+                                   const EngineConfig &config)
+    : program_(program), config_(config),
+      hashed_bbv_(config.hashed_bbv)
+{
+    memory_ = std::make_unique<mem::MainMemory>(program.data_bytes);
+    if (!program.data_words.empty()) {
+        std::vector<std::uint64_t> image = program.data_words;
+        image.resize(memory_->words().size(), 0);
+        memory_->setWords(std::move(image));
+    }
+    core_ = std::make_unique<cpu::FunctionalCore>(program_, *memory_);
+    hierarchy_ = std::make_unique<mem::CacheHierarchy>(config.hierarchy);
+    branch_unit_ = std::make_unique<timing::BranchUnit>(config.branch);
+    pipeline_ = std::make_unique<timing::InOrderPipeline>(
+        config.pipeline, *hierarchy_, *branch_unit_);
+}
+
+void
+SimulationEngine::trackBbv(const cpu::DynInst &rec)
+{
+    ++ops_since_taken_;
+    if (!rec.taken)
+        return;
+    const std::uint64_t addr = isa::instAddr(rec.pc);
+    if (hashed_bbv_enabled_)
+        hashed_bbv_.onTakenBranch(addr, ops_since_taken_);
+    if (full_bbv_enabled_)
+        full_bbv_.onTakenBranch(addr, ops_since_taken_);
+    ops_since_taken_ = 0;
+}
+
+template <bool with_bbv>
+std::uint64_t
+SimulationEngine::runFunctional(std::uint64_t n, bool warm)
+{
+    cpu::DynInst rec;
+    const std::uint32_t line_bytes = config_.hierarchy.l1i.line_bytes;
+    const std::uint32_t bytes_per_inst = config_.pipeline.bytes_per_inst;
+    std::uint64_t done = 0;
+
+    while (done < n && core_->step(rec)) {
+        ++done;
+        if (warm) {
+            const std::uint64_t line =
+                rec.pc * bytes_per_inst / line_bytes;
+            if (line != warm_fetch_line_) {
+                warm_fetch_line_ = line;
+                hierarchy_->warmInst(rec.pc * bytes_per_inst);
+            }
+            if (rec.is_load || rec.is_store)
+                hierarchy_->warmData(rec.mem_addr, rec.is_store);
+            if (rec.is_branch || rec.is_jump)
+                branch_unit_->predictAndTrain(rec);
+        }
+        if constexpr (with_bbv)
+            trackBbv(rec);
+    }
+    return done;
+}
+
+template <bool with_bbv>
+std::uint64_t
+SimulationEngine::runDetailed(std::uint64_t n)
+{
+    cpu::DynInst rec;
+    std::uint64_t done = 0;
+    while (done < n && core_->step(rec)) {
+        ++done;
+        pipeline_->consume(rec);
+        if constexpr (with_bbv)
+            trackBbv(rec);
+    }
+    return done;
+}
+
+RunResult
+SimulationEngine::run(std::uint64_t n, SimMode mode)
+{
+    const bool detailed = mode == SimMode::DetailedWarm ||
+                          mode == SimMode::DetailedMeasure;
+    if (detailed && !last_was_detailed_)
+        pipeline_->resync();
+    last_was_detailed_ = detailed;
+
+    const bool bbv = hashed_bbv_enabled_ || full_bbv_enabled_;
+    const std::uint64_t cycles_before = pipeline_->cycles();
+
+    std::uint64_t done = 0;
+    switch (mode) {
+      case SimMode::FunctionalFast:
+        done = bbv ? runFunctional<true>(n, false)
+                   : runFunctional<false>(n, false);
+        mode_ops_.functional_fast += done;
+        break;
+      case SimMode::FunctionalWarm:
+        done = bbv ? runFunctional<true>(n, true)
+                   : runFunctional<false>(n, true);
+        mode_ops_.functional_warm += done;
+        break;
+      case SimMode::DetailedWarm:
+        done = bbv ? runDetailed<true>(n) : runDetailed<false>(n);
+        mode_ops_.detailed_warm += done;
+        break;
+      case SimMode::DetailedMeasure:
+        done = bbv ? runDetailed<true>(n) : runDetailed<false>(n);
+        mode_ops_.detailed_measure += done;
+        break;
+    }
+
+    return {done, pipeline_->cycles() - cycles_before};
+}
+
+RunResult
+SimulationEngine::runToCompletion(SimMode mode)
+{
+    RunResult total;
+    while (!halted()) {
+        const RunResult r =
+            run(std::uint64_t{1} << 24, mode);
+        total.ops += r.ops;
+        total.cycles += r.cycles;
+        if (r.ops == 0)
+            break;
+    }
+    return total;
+}
+
+void
+SimulationEngine::setHashedBbvEnabled(bool enabled)
+{
+    hashed_bbv_enabled_ = enabled;
+}
+
+std::vector<double>
+SimulationEngine::harvestHashedBbv()
+{
+    return hashed_bbv_.harvest();
+}
+
+std::vector<double>
+SimulationEngine::harvestHashedBbvRaw()
+{
+    return hashed_bbv_.harvestRaw();
+}
+
+void
+SimulationEngine::setFullBbvEnabled(bool enabled)
+{
+    full_bbv_enabled_ = enabled;
+}
+
+bbv::SparseBbv
+SimulationEngine::harvestFullBbv()
+{
+    return full_bbv_.harvest();
+}
+
+Checkpoint
+SimulationEngine::checkpoint() const
+{
+    Checkpoint c;
+    c.regs_ = core_->regs();
+    c.pc_ = core_->pc();
+    c.halted_ = core_->halted();
+    c.retired_ = core_->retired();
+    c.ops_since_taken_ = ops_since_taken_;
+    c.memory_words_ = memory_->words();
+    c.hierarchy_ = hierarchy_->state();
+    c.branch_ = branch_unit_->state();
+    return c;
+}
+
+void
+SimulationEngine::restore(const Checkpoint &ckpt)
+{
+    util::panicIf(ckpt.memory_words_.size() != memory_->words().size(),
+                  "checkpoint from a different program");
+    core_->setRegs(ckpt.regs_);
+    core_->setPc(ckpt.pc_);
+    core_->setHalted(ckpt.halted_);
+    core_->setRetired(ckpt.retired_);
+    ops_since_taken_ = ckpt.ops_since_taken_;
+    memory_->setWords(ckpt.memory_words_);
+    hierarchy_->setState(ckpt.hierarchy_);
+    branch_unit_->setState(ckpt.branch_);
+    // Transient timing state is rebuilt by the next detailed warm-up.
+    warm_fetch_line_ = ~0ull;
+    last_was_detailed_ = false;
+    hashed_bbv_.reset();
+    full_bbv_.reset();
+}
+
+} // namespace pgss::sim

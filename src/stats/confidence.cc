@@ -1,0 +1,126 @@
+#include "stats/confidence.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pgss::stats
+{
+
+double
+normalQuantile(double p)
+{
+    util::panicIf(p <= 0.0 || p >= 1.0,
+                  "normalQuantile domain is (0, 1)");
+
+    // Acklam's algorithm.
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+
+    constexpr double p_low = 0.02425;
+    constexpr double p_high = 1.0 - p_low;
+
+    double q, r;
+    if (p < p_low) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= p_high) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+                 a[4]) *
+                    r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+                 b[4]) *
+                    r +
+                1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                 q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double
+tQuantile(double p, std::uint64_t df)
+{
+    util::panicIf(p <= 0.0 || p >= 1.0, "tQuantile domain is (0, 1)");
+    util::panicIf(df == 0, "tQuantile requires df >= 1");
+
+    if (df == 1)
+        return std::tan(M_PI * (p - 0.5));
+    if (df == 2) {
+        const double x = 2.0 * p - 1.0;
+        return x * std::sqrt(2.0 / (1.0 - x * x));
+    }
+    if (df > 200)
+        return normalQuantile(p);
+
+    // Cornish-Fisher expansion around the normal quantile.
+    const double z = normalQuantile(p);
+    const double n = static_cast<double>(df);
+    const double z3 = z * z * z;
+    const double z5 = z3 * z * z;
+    const double z7 = z5 * z * z;
+    const double z9 = z7 * z * z;
+    double t = z;
+    t += (z3 + z) / (4.0 * n);
+    t += (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n);
+    t += (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) /
+         (384.0 * n * n * n);
+    t += (79.0 * z9 + 776.0 * z7 + 1482.0 * z5 - 1920.0 * z3 -
+          945.0 * z) /
+         (92160.0 * n * n * n * n);
+    return t;
+}
+
+double
+ciHalfWidth(const RunningStats &s, double confidence)
+{
+    if (s.count() < 2)
+        return std::numeric_limits<double>::infinity();
+    const double alpha = 1.0 - confidence;
+    const double t = tQuantile(1.0 - alpha / 2.0, s.count() - 1);
+    return t * std::sqrt(s.variance() /
+                         static_cast<double>(s.count()));
+}
+
+bool
+withinConfidence(const RunningStats &s, double confidence,
+                 double relative_error, std::uint64_t min_samples)
+{
+    if (s.count() < min_samples || s.count() < 2)
+        return false;
+    const double hw = ciHalfWidth(s, confidence);
+    return hw <= relative_error * std::abs(s.mean());
+}
+
+} // namespace pgss::stats

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Confidence-interval machinery. TurboSMARTS stops drawing samples
+ * when the CI of the sample mean is within a relative half-width at a
+ * target confidence (the paper uses +/-3% at 99.7%); PGSS applies the
+ * same test per phase. Small sample counts use Student's t.
+ */
+
+#ifndef PGSS_STATS_CONFIDENCE_HH
+#define PGSS_STATS_CONFIDENCE_HH
+
+#include <cstdint>
+
+#include "stats/running_stats.hh"
+
+namespace pgss::stats
+{
+
+/**
+ * Quantile of the standard normal distribution (Acklam's rational
+ * approximation, |error| < 1.2e-9).
+ * @param p probability in (0, 1).
+ */
+double normalQuantile(double p);
+
+/**
+ * Quantile of Student's t distribution with @p df degrees of freedom
+ * (exact for df 1 and 2, Cornish-Fisher expansion otherwise).
+ */
+double tQuantile(double p, std::uint64_t df);
+
+/**
+ * Half-width of the two-sided CI of the mean of @p s at confidence
+ * level @p confidence (e.g. 0.997). Returns +infinity when fewer than
+ * two observations exist.
+ */
+double ciHalfWidth(const RunningStats &s, double confidence);
+
+/**
+ * True when the CI half-width of the mean is within
+ * @p relative_error * |mean| at @p confidence, given at least
+ * @p min_samples observations.
+ */
+bool withinConfidence(const RunningStats &s, double confidence,
+                      double relative_error,
+                      std::uint64_t min_samples = 2);
+
+} // namespace pgss::stats
+
+#endif // PGSS_STATS_CONFIDENCE_HH

@@ -1,0 +1,116 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pgss::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::uint32_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), weights_(bins, 0.0)
+{
+    util::panicIf(hi <= lo, "histogram range must be increasing");
+    util::panicIf(bins == 0, "histogram needs at least one bin");
+}
+
+std::uint32_t
+Histogram::binFor(double x) const
+{
+    if (x <= lo_)
+        return 0;
+    if (x >= hi_)
+        return bins() - 1;
+    return std::min<std::uint32_t>(
+        bins() - 1, static_cast<std::uint32_t>((x - lo_) / width_));
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    weights_[binFor(x)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binCenter(std::uint32_t i) const
+{
+    return lo_ + (i + 0.5) * width_;
+}
+
+std::vector<double>
+Histogram::normalized() const
+{
+    std::vector<double> out(weights_);
+    if (total_ > 0.0)
+        for (double &w : out)
+            w /= total_;
+    return out;
+}
+
+std::uint32_t
+Histogram::modeCount(double min_fraction) const
+{
+    if (total_ <= 0.0)
+        return 0;
+    const double min_weight = min_fraction * total_;
+    std::uint32_t modes = 0;
+    for (std::uint32_t i = 0; i < bins(); ++i) {
+        const double w = weights_[i];
+        if (w < min_weight)
+            continue;
+        const double left = i > 0 ? weights_[i - 1] : 0.0;
+        const double right = i + 1 < bins() ? weights_[i + 1] : 0.0;
+        if (w >= left && w > right)
+            ++modes;
+    }
+    return modes;
+}
+
+Histogram2d::Histogram2d(double x_lo, double x_hi, std::uint32_t x_bins,
+                         double y_lo, double y_hi,
+                         std::uint32_t y_bins)
+    : x_lo_(x_lo), x_hi_(x_hi), y_lo_(y_lo), y_hi_(y_hi),
+      x_bins_(x_bins), y_bins_(y_bins),
+      cells_(static_cast<std::size_t>(x_bins) * y_bins, 0.0)
+{
+    util::panicIf(x_hi <= x_lo || y_hi <= y_lo,
+                  "histogram2d range must be increasing");
+    util::panicIf(x_bins == 0 || y_bins == 0,
+                  "histogram2d needs at least one bin per axis");
+}
+
+void
+Histogram2d::add(double x, double y, double weight)
+{
+    const double fx = std::clamp(
+        (x - x_lo_) / (x_hi_ - x_lo_), 0.0, 1.0);
+    const double fy = std::clamp(
+        (y - y_lo_) / (y_hi_ - y_lo_), 0.0, 1.0);
+    const auto xi = std::min<std::uint32_t>(
+        x_bins_ - 1, static_cast<std::uint32_t>(fx * x_bins_));
+    const auto yi = std::min<std::uint32_t>(
+        y_bins_ - 1, static_cast<std::uint32_t>(fy * y_bins_));
+    cells_[static_cast<std::size_t>(yi) * x_bins_ + xi] += weight;
+    total_ += weight;
+}
+
+double
+Histogram2d::cell(std::uint32_t xi, std::uint32_t yi) const
+{
+    return cells_[static_cast<std::size_t>(yi) * x_bins_ + xi];
+}
+
+double
+Histogram2d::xCenter(std::uint32_t xi) const
+{
+    return x_lo_ + (xi + 0.5) * (x_hi_ - x_lo_) / x_bins_;
+}
+
+double
+Histogram2d::yCenter(std::uint32_t yi) const
+{
+    return y_lo_ + (yi + 0.5) * (y_hi_ - y_lo_) / y_bins_;
+}
+
+} // namespace pgss::stats

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-bin histogram, used for the Figure-3 IPC distribution and the
+ * Figure-7 two-dimensional BBV-change/IPC-change density plot.
+ */
+
+#ifndef PGSS_STATS_HISTOGRAM_HH
+#define PGSS_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pgss::stats
+{
+
+/** One-dimensional histogram over [lo, hi) with equal-width bins. */
+class Histogram
+{
+  public:
+    /** @pre hi > lo, bins > 0. */
+    Histogram(double lo, double hi, std::uint32_t bins);
+
+    /** Add @p weight to the bin containing @p x (clamped to range). */
+    void add(double x, double weight = 1.0);
+
+    /** Bin index for @p x (clamped). */
+    std::uint32_t binFor(double x) const;
+
+    /** Weight in bin @p i. */
+    double binWeight(std::uint32_t i) const { return weights_[i]; }
+
+    /** Centre value of bin @p i. */
+    double binCenter(std::uint32_t i) const;
+
+    /** Number of bins. */
+    std::uint32_t bins() const { return static_cast<std::uint32_t>(
+        weights_.size()); }
+
+    /** Total weight added. */
+    double total() const { return total_; }
+
+    /** Weights normalised to fractions of the total. */
+    std::vector<double> normalized() const;
+
+    /**
+     * Number of local maxima ("modes") whose weight exceeds
+     * @p min_fraction of the total — the polymodality measure used
+     * when reproducing Figure 3.
+     */
+    std::uint32_t modeCount(double min_fraction = 0.01) const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<double> weights_;
+    double total_ = 0.0;
+};
+
+/** Two-dimensional histogram (x: BBV change, y: IPC change). */
+class Histogram2d
+{
+  public:
+    Histogram2d(double x_lo, double x_hi, std::uint32_t x_bins,
+                double y_lo, double y_hi, std::uint32_t y_bins);
+
+    /** Add @p weight at (x, y), clamped into range. */
+    void add(double x, double y, double weight = 1.0);
+
+    double cell(std::uint32_t xi, std::uint32_t yi) const;
+    std::uint32_t xBins() const { return x_bins_; }
+    std::uint32_t yBins() const { return y_bins_; }
+    double xCenter(std::uint32_t xi) const;
+    double yCenter(std::uint32_t yi) const;
+    double total() const { return total_; }
+
+  private:
+    double x_lo_, x_hi_, y_lo_, y_hi_;
+    std::uint32_t x_bins_, y_bins_;
+    std::vector<double> cells_;
+    double total_ = 0.0;
+};
+
+} // namespace pgss::stats
+
+#endif // PGSS_STATS_HISTOGRAM_HH

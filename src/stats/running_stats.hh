@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Streaming first/second-moment statistics (Welford's algorithm).
+ * Used for per-phase CPI profiles, interval-IPC summaries, and the
+ * SMARTS/TurboSMARTS convergence tests.
+ */
+
+#ifndef PGSS_STATS_RUNNING_STATS_HH
+#define PGSS_STATS_RUNNING_STATS_HH
+
+#include <cstdint>
+
+namespace pgss::stats
+{
+
+/** Numerically-stable streaming mean/variance with min/max. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (Chan's method). */
+    void merge(const RunningStats &other);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when n < 2). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Population variance (divides by n). */
+    double populationVariance() const;
+
+    /** Coefficient of variation: stddev / |mean| (0 when mean == 0). */
+    double cov() const;
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Discard everything. */
+    void reset();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace pgss::stats
+
+#endif // PGSS_STATS_RUNNING_STATS_HH

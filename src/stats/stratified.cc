@@ -1,0 +1,62 @@
+#include "stats/stratified.hh"
+
+namespace pgss::stats
+{
+
+void
+StratifiedEstimator::addStratum(const Stratum &stratum)
+{
+    strata_.push_back(stratum);
+}
+
+double
+StratifiedEstimator::mean() const
+{
+    double num = 0.0;
+    double den = 0.0;
+    for (const Stratum &s : strata_) {
+        if (s.samples.count() == 0)
+            continue;
+        num += s.weight * s.samples.mean();
+        den += s.weight;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+double
+StratifiedEstimator::estimatorVariance() const
+{
+    const double w_total = coveredWeight();
+    if (w_total <= 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (const Stratum &s : strata_) {
+        if (s.samples.count() < 2)
+            continue;
+        const double frac = s.weight / w_total;
+        var += frac * frac * s.samples.variance() /
+               static_cast<double>(s.samples.count());
+    }
+    return var;
+}
+
+double
+StratifiedEstimator::coveredWeight() const
+{
+    double w = 0.0;
+    for (const Stratum &s : strata_)
+        if (s.samples.count() > 0)
+            w += s.weight;
+    return w;
+}
+
+double
+StratifiedEstimator::totalWeight() const
+{
+    double w = 0.0;
+    for (const Stratum &s : strata_)
+        w += s.weight;
+    return w;
+}
+
+} // namespace pgss::stats

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Stratified (per-phase) estimation. PGSS estimates whole-program CPI
+ * as an occupancy-weighted combination of per-phase sample means —
+ * the "weighted sum of the performance of each phase multiplied by
+ * the contribution of that phase" the paper describes for both
+ * SimPoint and PGSS.
+ */
+
+#ifndef PGSS_STATS_STRATIFIED_HH
+#define PGSS_STATS_STRATIFIED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/running_stats.hh"
+
+namespace pgss::stats
+{
+
+/** One stratum: its sample statistics and its population weight. */
+struct Stratum
+{
+    RunningStats samples; ///< per-sample observations (e.g. CPI)
+    double weight = 0.0;  ///< share of the population (e.g. op count)
+};
+
+/** Combines strata into a population estimate. */
+class StratifiedEstimator
+{
+  public:
+    /** Add a stratum (weight need not be normalised). */
+    void addStratum(const Stratum &stratum);
+
+    /** Weighted mean across strata with at least one sample. */
+    double mean() const;
+
+    /**
+     * Variance of the stratified mean estimator:
+     * sum over strata of (w_i/W)^2 * s_i^2 / n_i.
+     */
+    double estimatorVariance() const;
+
+    /** Total weight of strata that contributed samples. */
+    double coveredWeight() const;
+
+    /** Total weight of all strata (sampled or not). */
+    double totalWeight() const;
+
+    /** Number of strata added. */
+    std::size_t strataCount() const { return strata_.size(); }
+
+  private:
+    std::vector<Stratum> strata_;
+};
+
+} // namespace pgss::stats
+
+#endif // PGSS_STATS_STRATIFIED_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Front-end branch machinery shared by functional fast-forwarding and
+ * detailed simulation: tournament direction predictor, BTB, and a
+ * return-address stack. Keeping one instance for both modes is what
+ * makes SMARTS/PGSS functional warming meaningful — predictor state
+ * evolves identically whether or not timing is being modelled.
+ */
+
+#ifndef PGSS_TIMING_BRANCH_UNIT_HH
+#define PGSS_TIMING_BRANCH_UNIT_HH
+
+#include <cstdint>
+
+#include "branch/btb.hh"
+#include "branch/predictor.hh"
+#include "cpu/dyn_inst.hh"
+
+namespace pgss::timing
+{
+
+/** Branch-unit sizing. */
+struct BranchUnitConfig
+{
+    std::uint32_t predictor_entries = 4096;
+    std::uint32_t history_bits = 12;
+    std::uint32_t btb_entries = 2048;
+    std::uint32_t ras_depth = 16;
+    /** Link register: Jal rd==link is a call, Jalr rs1==link a return. */
+    std::uint8_t link_reg = 1;
+};
+
+/** Aggregate branch statistics. */
+struct BranchStats
+{
+    std::uint64_t branches = 0;      ///< conditional branches seen
+    std::uint64_t mispredicts = 0;   ///< direction or target wrong
+    std::uint64_t taken = 0;         ///< taken control transfers
+
+    /** Misprediction ratio over conditional branches. */
+    double
+    mispredictRatio() const
+    {
+        return branches ? static_cast<double>(mispredicts) / branches
+                        : 0.0;
+    }
+};
+
+/**
+ * Owns all branch-prediction state and exposes the single operation
+ * both simulation modes need: predict this control instruction and
+ * train on its outcome.
+ */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchUnitConfig &config);
+
+    /**
+     * Predict and train on one retired control-flow instruction.
+     * @param rec the retired instruction (branch or jump).
+     * @return true when the front end would have misfetched: wrong
+     *         direction, or taken with a wrong/missing target.
+     */
+    bool predictAndTrain(const cpu::DynInst &rec);
+
+    /** Accumulated statistics. */
+    const BranchStats &stats() const { return stats_; }
+
+    /** Reset statistics (tables retained). */
+    void clearStats() { stats_ = BranchStats(); }
+
+    /** Reset all tables to power-on state. */
+    void reset();
+
+    /** Serialized predictor+BTB state for checkpointing. */
+    struct State
+    {
+        std::vector<std::uint8_t> predictor;
+        branch::Btb::State btb;
+    };
+
+    State state() const;
+    void setState(const State &st);
+
+    const BranchUnitConfig &config() const { return config_; }
+
+  private:
+    BranchUnitConfig config_;
+    branch::TournamentPredictor predictor_;
+    branch::Btb btb_;
+    branch::ReturnAddressStack ras_;
+    BranchStats stats_;
+};
+
+} // namespace pgss::timing
+
+#endif // PGSS_TIMING_BRANCH_UNIT_HH

@@ -1,0 +1,143 @@
+#include "timing/in_order_pipeline.hh"
+
+#include <algorithm>
+
+#include "isa/program.hh"
+
+namespace pgss::timing
+{
+
+InOrderPipeline::InOrderPipeline(const PipelineConfig &config,
+                                 mem::CacheHierarchy &hierarchy,
+                                 BranchUnit &branch_unit)
+    : config_(config), hierarchy_(hierarchy), branch_unit_(branch_unit),
+      store_buffer_(config.store_buffer_entries, 0)
+{
+}
+
+void
+InOrderPipeline::resync()
+{
+    reg_ready_.fill(cur_cycle_);
+    std::fill(store_buffer_.begin(), store_buffer_.end(), cur_cycle_);
+    int_div_busy_until_ = cur_cycle_;
+    fp_div_busy_until_ = cur_cycle_;
+    fetch_ready_ = cur_cycle_;
+    cur_fetch_line_ = ~0ull;
+    issued_this_cycle_ = config_.width; // force a fresh issue cycle
+}
+
+std::uint32_t
+InOrderPipeline::execLatency(const cpu::DynInst &rec)
+{
+    using isa::OpClass;
+    switch (rec.op_class) {
+      case OpClass::IntAlu:
+        return config_.int_alu_latency;
+      case OpClass::IntMul:
+        return config_.int_mul_latency;
+      case OpClass::IntDiv:
+        return config_.int_div_latency;
+      case OpClass::FpAdd:
+        return config_.fp_add_latency;
+      case OpClass::FpMul:
+        return config_.fp_mul_latency;
+      case OpClass::FpDiv:
+        return config_.fp_div_latency;
+      case OpClass::MemWrite:
+        return config_.store_latency;
+      case OpClass::MemRead:
+      case OpClass::Control:
+      case OpClass::NoOp:
+        return 1;
+    }
+    return 1;
+}
+
+void
+InOrderPipeline::consume(const cpu::DynInst &rec)
+{
+    // ---- Fetch: I-cache access on each new line.
+    const std::uint64_t inst_addr =
+        rec.pc * config_.bytes_per_inst;
+    const std::uint64_t line =
+        inst_addr / hierarchy_.config().l1i.line_bytes;
+    if (line != cur_fetch_line_) {
+        cur_fetch_line_ = line;
+        ++stats_.icache_line_fetches;
+        const std::uint32_t fetch_lat = hierarchy_.instFetch(inst_addr);
+        if (fetch_lat > 0)
+            fetch_ready_ = std::max(fetch_ready_, cur_cycle_) + fetch_lat;
+    }
+
+    // ---- Issue: in-order, width-limited, operands ready.
+    std::uint64_t issue = std::max(fetch_ready_, cur_cycle_);
+    if (rec.reads_rs1)
+        issue = std::max(issue, reg_ready_[rec.rs1]);
+    if (rec.reads_rs2)
+        issue = std::max(issue, reg_ready_[rec.rs2]);
+
+    // Structural hazard: unpipelined divide units.
+    if (rec.op_class == isa::OpClass::IntDiv)
+        issue = std::max(issue, int_div_busy_until_);
+    else if (rec.op_class == isa::OpClass::FpDiv)
+        issue = std::max(issue, fp_div_busy_until_);
+
+    // Structural hazard: full store buffer.
+    if (rec.is_store) {
+        const std::uint64_t oldest = store_buffer_[store_buffer_head_];
+        if (oldest > issue) {
+            issue = oldest;
+            ++stats_.store_buffer_stalls;
+        }
+    }
+
+    if (issue == cur_cycle_ && issued_this_cycle_ >= config_.width)
+        issue = cur_cycle_ + 1;
+    if (issue > cur_cycle_) {
+        cur_cycle_ = issue;
+        issued_this_cycle_ = 0;
+    }
+    ++issued_this_cycle_;
+
+    // ---- Execute.
+    std::uint32_t latency = execLatency(rec);
+    if (rec.is_load) {
+        latency = hierarchy_.dataAccess(rec.mem_addr, false);
+    } else if (rec.is_store) {
+        // The store drains through the store buffer; the D-cache tags
+        // are updated and the buffer entry is busy for the miss time.
+        const std::uint32_t drain =
+            hierarchy_.dataAccess(rec.mem_addr, true);
+        store_buffer_[store_buffer_head_] = issue + drain;
+        store_buffer_head_ =
+            (store_buffer_head_ + 1) % store_buffer_.size();
+    }
+
+    if (rec.op_class == isa::OpClass::IntDiv)
+        int_div_busy_until_ = issue + latency;
+    else if (rec.op_class == isa::OpClass::FpDiv)
+        fp_div_busy_until_ = issue + latency;
+
+    if (rec.writes_rd)
+        reg_ready_[rec.rd] = issue + latency;
+
+    // ---- Control flow: redirects and mispredictions.
+    if (rec.is_branch || rec.is_jump) {
+        const bool mispredict = branch_unit_.predictAndTrain(rec);
+        if (mispredict) {
+            ++stats_.mispredicts;
+            fetch_ready_ =
+                issue + 1 + config_.mispredict_penalty;
+        } else if (rec.taken) {
+            fetch_ready_ = std::max(fetch_ready_, issue) +
+                           config_.taken_branch_bubble;
+        }
+        if (rec.taken)
+            cur_fetch_line_ = ~0ull; // next fetch starts a new group
+    }
+
+    ++stats_.instructions;
+}
+
+} // namespace pgss::timing

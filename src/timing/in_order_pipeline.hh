@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Detailed timing model: a 4-wide-issue, superscalar, in-order core —
+ * the configuration the paper simulates. The model is execute-first: it
+ * consumes retired-instruction records and advances a cycle clock
+ * respecting fetch bandwidth, I-cache misses, in-order issue, operand
+ * readiness (scoreboard), functional-unit latencies and structural
+ * hazards, D-cache latency for loads, a store buffer, and branch
+ * misprediction bubbles. For an in-order machine this reproduces the
+ * issue schedule a cycle-by-cycle model would produce, at the speed a
+ * full-program ground-truth run needs.
+ */
+
+#ifndef PGSS_TIMING_IN_ORDER_PIPELINE_HH
+#define PGSS_TIMING_IN_ORDER_PIPELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/dyn_inst.hh"
+#include "isa/instruction.hh"
+#include "mem/hierarchy.hh"
+#include "timing/branch_unit.hh"
+
+namespace pgss::timing
+{
+
+/** Core width, penalties, and functional-unit latencies (cycles). */
+struct PipelineConfig
+{
+    std::uint32_t width = 4;             ///< issue width
+    std::uint32_t mispredict_penalty = 8; ///< front-end refill bubbles
+    std::uint32_t taken_branch_bubble = 1; ///< redirect on taken branch
+
+    std::uint32_t int_alu_latency = 1;
+    std::uint32_t int_mul_latency = 3;   ///< pipelined
+    std::uint32_t int_div_latency = 20;  ///< unpipelined
+    std::uint32_t fp_add_latency = 3;    ///< pipelined
+    std::uint32_t fp_mul_latency = 4;    ///< pipelined
+    std::uint32_t fp_div_latency = 24;   ///< unpipelined
+    std::uint32_t store_latency = 1;     ///< issue occupancy of a store
+
+    std::uint32_t store_buffer_entries = 8;
+    std::uint32_t bytes_per_inst = 4;    ///< for I-cache line mapping
+};
+
+/** Counters the detailed model accumulates. */
+struct PipelineStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t icache_line_fetches = 0;
+    std::uint64_t store_buffer_stalls = 0;
+};
+
+/**
+ * The timing model. Owns nothing: caches and the branch unit are
+ * shared with the functional-warming path and passed in by reference.
+ */
+class InOrderPipeline
+{
+  public:
+    /**
+     * @param config core parameters.
+     * @param hierarchy shared cache hierarchy (timed accesses).
+     * @param branch_unit shared branch prediction state.
+     */
+    InOrderPipeline(const PipelineConfig &config,
+                    mem::CacheHierarchy &hierarchy,
+                    BranchUnit &branch_unit);
+
+    /** Advance the clock over one retired instruction. */
+    void consume(const cpu::DynInst &rec);
+
+    /** Current cycle count (monotonic across the whole run). */
+    std::uint64_t cycles() const { return cur_cycle_; }
+
+    /**
+     * Re-synchronise transient state after a functional fast-forward
+     * gap: operands become ready "now", in-flight unit/store-buffer
+     * occupancy clears, and the fetch stream restarts. The subsequent
+     * detailed warm-up window (SMARTS-style) re-fills realistic
+     * transient state before measurement begins.
+     */
+    void resync();
+
+    /** Accumulated statistics. */
+    const PipelineStats &stats() const { return stats_; }
+
+    /** Reset statistics (timing state retained). */
+    void clearStats() { stats_ = PipelineStats(); }
+
+    const PipelineConfig &config() const { return config_; }
+
+  private:
+    std::uint32_t execLatency(const cpu::DynInst &rec);
+
+    PipelineConfig config_;
+    mem::CacheHierarchy &hierarchy_;
+    BranchUnit &branch_unit_;
+
+    std::uint64_t cur_cycle_ = 0;
+    std::uint32_t issued_this_cycle_ = 0;
+    std::uint64_t fetch_ready_ = 0;
+    std::uint64_t cur_fetch_line_ = ~0ull;
+    std::array<std::uint64_t, isa::num_regs> reg_ready_{};
+    std::uint64_t int_div_busy_until_ = 0;
+    std::uint64_t fp_div_busy_until_ = 0;
+    std::vector<std::uint64_t> store_buffer_; ///< completion times ring
+    std::uint32_t store_buffer_head_ = 0;
+
+    PipelineStats stats_;
+};
+
+} // namespace pgss::timing
+
+#endif // PGSS_TIMING_IN_ORDER_PIPELINE_HH

@@ -1,0 +1,46 @@
+#include "util/csv.hh"
+
+#include <ostream>
+
+namespace pgss::util
+{
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os)
+{
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quotes = false;
+    for (char c : cell) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quotes = true;
+            break;
+        }
+    }
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace pgss::util

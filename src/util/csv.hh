@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV emission, used by benches to dump figure series in a form
+ * plotting tools can consume directly.
+ */
+
+#ifndef PGSS_UTIL_CSV_HH
+#define PGSS_UTIL_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pgss::util
+{
+
+/**
+ * Writes rows of cells as RFC-4180-ish CSV (quotes cells that contain
+ * commas, quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /** Bind to an output stream owned by the caller. */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Quote a cell value if the CSV dialect requires it. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace pgss::util
+
+#endif // PGSS_UTIL_CSV_HH

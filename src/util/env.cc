@@ -1,0 +1,42 @@
+#include "util/env.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pgss::util
+{
+
+std::string
+envString(const char *name, const std::string &def)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::string(v) : def;
+}
+
+double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0')
+        return def;
+    return parsed;
+}
+
+double
+workloadScale()
+{
+    double s = envDouble("PGSS_SCALE", 1.0);
+    return std::clamp(s, 0.01, 100.0);
+}
+
+std::string
+profileCacheDir()
+{
+    return envString("PGSS_PROFILE_CACHE", "pgss_profile_cache");
+}
+
+} // namespace pgss::util

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Environment-variable configuration knobs shared by benches and
+ * examples: PGSS_SCALE shrinks/grows the synthetic workloads, and
+ * PGSS_PROFILE_CACHE points the ground-truth profile cache somewhere
+ * other than the default.
+ */
+
+#ifndef PGSS_UTIL_ENV_HH
+#define PGSS_UTIL_ENV_HH
+
+#include <string>
+
+namespace pgss::util
+{
+
+/** String env var with default. */
+std::string envString(const char *name, const std::string &def);
+
+/** Double env var with default; malformed values fall back to @p def. */
+double envDouble(const char *name, double def);
+
+/**
+ * Global workload scale factor from PGSS_SCALE (default 1.0). Multiplies
+ * the dynamic length of every suite workload; clamped to [0.01, 100].
+ */
+double workloadScale();
+
+/**
+ * Directory for cached ground-truth interval profiles, from
+ * PGSS_PROFILE_CACHE (default: "<cwd>/pgss_profile_cache").
+ */
+std::string profileCacheDir();
+
+} // namespace pgss::util
+
+#endif // PGSS_UTIL_ENV_HH

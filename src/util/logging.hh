@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition: inform() for normal
+ * status, warn() for suspicious-but-survivable conditions, fatal() for
+ * user errors that end the run, and panic() for internal invariant
+ * violations (aborts, so a debugger or core dump can catch it).
+ */
+
+#ifndef PGSS_UTIL_LOGGING_HH
+#define PGSS_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pgss::util
+{
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel
+{
+    Quiet,   ///< suppress inform() output
+    Normal,  ///< inform() and warn() printed (default)
+    Verbose  ///< additionally print verbose() messages
+};
+
+/** Set the global verbosity for inform()/verbose(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Print an informational status message to stderr.
+ * @param fmt printf-style format string.
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print a message only when the log level is Verbose.
+ * @param fmt printf-style format string.
+ */
+void verbose(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print a warning about a condition that might indicate a problem but
+ * does not stop the simulation.
+ * @param fmt printf-style format string.
+ */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate the process with exit(1) because of a condition that is the
+ * user's fault (bad configuration, invalid arguments).
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort the process because an internal invariant was violated: a bug in
+ * the simulator itself, never a user error.
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Like assert() but always compiled in and reported through panic().
+ * @param cond condition that must hold.
+ * @param what description of the violated invariant.
+ */
+inline void
+panicIf(bool cond, const char *what)
+{
+    if (cond)
+        panic("%s", what);
+}
+
+} // namespace pgss::util
+
+#endif // PGSS_UTIL_LOGGING_HH

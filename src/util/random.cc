@@ -1,0 +1,146 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pgss::util
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    panicIf(bound == 0, "Rng::nextBounded with bound == 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "Rng::nextRange with lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (has_gauss_) {
+        has_gauss_ = false;
+        return cached_gauss_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    u2 = nextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_gauss_ = mag * std::sin(2.0 * M_PI * u2);
+    has_gauss_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::vector<std::uint32_t>
+Rng::sampleDistinct(std::uint32_t count, std::uint32_t bound)
+{
+    panicIf(count > bound, "Rng::sampleDistinct with count > bound");
+    // Partial Fisher-Yates over an index vector; fine for the small
+    // bounds (e.g. 32 address bits) this is used for.
+    std::vector<std::uint32_t> idx(bound);
+    for (std::uint32_t i = 0; i < bound; ++i)
+        idx[i] = i;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t j =
+            i + static_cast<std::uint32_t>(nextBounded(bound - i));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(count);
+    return idx;
+}
+
+Rng::State
+Rng::state() const
+{
+    State st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.cached_gauss = cached_gauss_;
+    st.has_gauss = has_gauss_;
+    return st;
+}
+
+void
+Rng::setState(const State &st)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = st.s[i];
+    cached_gauss_ = st.cached_gauss;
+    has_gauss_ = st.has_gauss;
+}
+
+} // namespace pgss::util

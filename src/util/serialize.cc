@@ -1,0 +1,208 @@
+#include "util/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace pgss::util
+{
+
+BinaryWriter::BinaryWriter(std::uint32_t magic, std::uint32_t version)
+{
+    putU32(magic);
+    putU32(version);
+}
+
+void
+BinaryWriter::putU8(std::uint8_t v)
+{
+    buf_.push_back(v);
+}
+
+void
+BinaryWriter::putU32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+BinaryWriter::putU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+BinaryWriter::putI64(std::int64_t v)
+{
+    putU64(static_cast<std::uint64_t>(v));
+}
+
+void
+BinaryWriter::putDouble(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
+BinaryWriter::putString(const std::string &s)
+{
+    putU64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void
+BinaryWriter::putDoubleVec(const std::vector<double> &v)
+{
+    putU64(v.size());
+    for (double d : v)
+        putDouble(d);
+}
+
+void
+BinaryWriter::putU64Vec(const std::vector<std::uint64_t> &v)
+{
+    putU64(v.size());
+    for (std::uint64_t u : v)
+        putU64(u);
+}
+
+bool
+BinaryWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char *>(buf_.data()),
+              static_cast<std::streamsize>(buf_.size()));
+    return static_cast<bool>(out);
+}
+
+BinaryReader::BinaryReader(std::vector<std::uint8_t> data,
+                           std::uint32_t magic, std::uint32_t version)
+    : buf_(std::move(data))
+{
+    if (buf_.size() < 8) {
+        ok_ = false;
+        return;
+    }
+    if (getU32() != magic || getU32() != version)
+        ok_ = false;
+}
+
+BinaryReader
+BinaryReader::fromFile(const std::string &path, std::uint32_t magic,
+                       std::uint32_t version)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> data;
+    if (in) {
+        in.seekg(0, std::ios::end);
+        const auto size = in.tellg();
+        in.seekg(0, std::ios::beg);
+        data.resize(static_cast<std::size_t>(size));
+        in.read(reinterpret_cast<char *>(data.data()), size);
+        if (!in)
+            data.clear();
+    }
+    return BinaryReader(std::move(data), magic, version);
+}
+
+bool
+BinaryReader::need(std::size_t n)
+{
+    if (pos_ + n > buf_.size()) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t
+BinaryReader::getU8()
+{
+    if (!need(1))
+        return 0;
+    return buf_[pos_++];
+}
+
+std::uint32_t
+BinaryReader::getU32()
+{
+    if (!need(4))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+BinaryReader::getU64()
+{
+    if (!need(8))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::int64_t
+BinaryReader::getI64()
+{
+    return static_cast<std::int64_t>(getU64());
+}
+
+double
+BinaryReader::getDouble()
+{
+    std::uint64_t bits = getU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+BinaryReader::getString()
+{
+    std::uint64_t n = getU64();
+    if (!need(n))
+        return {};
+    std::string s(reinterpret_cast<const char *>(buf_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+}
+
+std::vector<double>
+BinaryReader::getDoubleVec()
+{
+    std::uint64_t n = getU64();
+    std::vector<double> v;
+    if (!need(n * 8))
+        return v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(getDouble());
+    return v;
+}
+
+std::vector<std::uint64_t>
+BinaryReader::getU64Vec()
+{
+    std::uint64_t n = getU64();
+    std::vector<std::uint64_t> v;
+    if (!need(n * 8))
+        return v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(getU64());
+    return v;
+}
+
+} // namespace pgss::util

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tiny binary serialization layer used by checkpoints and the interval
+ * profile cache. Little-endian, length-prefixed, with a magic/version
+ * header validated on load.
+ */
+
+#ifndef PGSS_UTIL_SERIALIZE_HH
+#define PGSS_UTIL_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgss::util
+{
+
+/** Append-only binary encoder. */
+class BinaryWriter
+{
+  public:
+    /** Start a stream tagged with @p magic and @p version. */
+    BinaryWriter(std::uint32_t magic, std::uint32_t version);
+
+    void putU8(std::uint8_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI64(std::int64_t v);
+    void putDouble(double v);
+    void putString(const std::string &s);
+    void putDoubleVec(const std::vector<double> &v);
+    void putU64Vec(const std::vector<std::uint64_t> &v);
+
+    /** The encoded bytes (header included). */
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+    /** Write the encoded bytes to @p path. @return false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Sequential binary decoder matching BinaryWriter. All getters throw
+ * via panic() on truncated input; header mismatch is reported through
+ * ok() so callers can treat a stale cache file as a miss.
+ */
+class BinaryReader
+{
+  public:
+    /** Decode from a byte buffer; validates magic/version. */
+    BinaryReader(std::vector<std::uint8_t> data, std::uint32_t magic,
+                 std::uint32_t version);
+
+    /** Load a file then decode. A missing file yields !ok(). */
+    static BinaryReader fromFile(const std::string &path,
+                                 std::uint32_t magic,
+                                 std::uint32_t version);
+
+    /** True when the header matched and no read overran the buffer. */
+    bool ok() const { return ok_; }
+
+    std::uint8_t getU8();
+    std::uint32_t getU32();
+    std::uint64_t getU64();
+    std::int64_t getI64();
+    double getDouble();
+    std::string getString();
+    std::vector<double> getDoubleVec();
+    std::vector<std::uint64_t> getU64Vec();
+
+    /** True when every byte has been consumed. */
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    bool need(std::size_t n);
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace pgss::util
+
+#endif // PGSS_UTIL_SERIALIZE_HH

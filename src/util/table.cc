@@ -1,0 +1,137 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace pgss::util
+{
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    header_ = std::move(names);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panicIf(!header_.empty() && cells.size() != header_.size(),
+            "Table row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%' &&
+            c != ',')
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+void
+Table::print(std::ostream &os) const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<std::size_t> width(ncols, 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string cell = c < r.size() ? r[c] : "";
+            const bool right = looksNumeric(cell) && c > 0;
+            os << (c == 0 ? "" : "  ");
+            if (right) {
+                os << std::string(width[c] - cell.size(), ' ') << cell;
+            } else {
+                os << cell << std::string(width[c] - cell.size(), ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit_row(header_);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < ncols; ++c)
+            total += width[c] + (c == 0 ? 0 : 2);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit_row(r);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::fmtCount(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run == 3) {
+            out.push_back(',');
+            run = 0;
+        }
+        out.push_back(*it);
+        ++run;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Table::fmtSci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+} // namespace pgss::util

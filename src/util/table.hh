@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned plain-text table printing for the benchmark harness. Every
+ * figure-reproduction bench prints its series through Table so the
+ * output stays machine-greppable and human-readable.
+ */
+
+#ifndef PGSS_UTIL_TABLE_HH
+#define PGSS_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pgss::util
+{
+
+/**
+ * A simple column-aligned table. Add a header, then rows of cells;
+ * print() right-aligns numeric-looking cells and left-aligns text.
+ */
+class Table
+{
+  public:
+    /** Optional caption printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a row; must match the header width if one was set. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double v, int precision = 4);
+
+    /** Format a double as a percentage ("12.34%"). */
+    static std::string fmtPercent(double fraction, int precision = 2);
+
+    /** Format a count with thousands grouping ("1,234,567"). */
+    static std::string fmtCount(std::uint64_t v);
+
+    /** Format in engineering notation ("1.2e+08"). */
+    static std::string fmtSci(double v, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pgss::util
+
+#endif // PGSS_UTIL_TABLE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The kernel library: parameterised loop nests that the synthetic
+ * SPEC2000 analogues are scripted from. Each kernel is emitted as a
+ * standalone subroutine (called via jal/jalr through the link
+ * register) with its own data allocation, so every instance has a
+ * distinct basic-block footprint — which is exactly what BBV-based
+ * phase detection keys on.
+ *
+ * Kernel performance levers:
+ *  - footprint_bytes: working-set size → L1/L2/memory residency.
+ *  - ilp: number of independent dependency chains → achievable IPC.
+ *  - taken_bias: branch predictability for the Branchy kernel.
+ *  - inner_iters / stride_words: loop length and access pattern.
+ */
+
+#ifndef PGSS_WORKLOAD_KERNELS_HH
+#define PGSS_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.hh"
+#include "workload/program_builder.hh"
+
+namespace pgss::workload
+{
+
+/** Kernel families. See the file comment for the levers each uses. */
+enum class KernelKind : std::uint8_t
+{
+    Stream,      ///< load-modify-store sweep over an array
+    Chase,       ///< serialized pointer chase over a permutation
+    Compute,     ///< FP multiply/add chains, register-resident
+    SerialFp,    ///< dependent unpipelined fdiv chain (very low IPC)
+    Branchy,     ///< data-dependent, poorly-predictable branches
+    Stencil,     ///< 3-point stencil: loads, FP ops, store
+    HashScatter, ///< pseudo-random stores over a footprint
+    Reduce,      ///< sequential loads into a dependent accumulator
+};
+
+/** Parameters of one kernel instance. */
+struct KernelSpec
+{
+    KernelKind kind = KernelKind::Stream;
+    std::uint64_t footprint_bytes = 32 * 1024;
+    std::uint32_t inner_iters = 1024; ///< loop trips per call
+    std::uint32_t ilp = 4;            ///< chains for Compute
+    double taken_bias = 0.5;          ///< P(taken) for Branchy
+    std::uint32_t stride_words = 1;   ///< for Stream
+    std::uint64_t seed = 1;           ///< data-initialisation seed
+};
+
+/** Where a kernel instance landed in the program. */
+struct KernelCode
+{
+    std::uint32_t entry = 0;    ///< subroutine entry index
+    double ops_per_call = 0.0;  ///< dynamic instructions per call
+};
+
+/**
+ * Emit one kernel instance.
+ * @param b builder receiving code and data.
+ * @param spec kernel parameters.
+ * @return entry point and per-call dynamic-op estimate (exact for all
+ *         kernels except Branchy, where the skipped-arm rate depends
+ *         on the data and the estimate uses its expectation).
+ */
+KernelCode emitKernel(ProgramBuilder &b, const KernelSpec &spec);
+
+/** Human-readable kind name, for diagnostics. */
+std::string kindName(KernelKind kind);
+
+} // namespace pgss::workload
+
+#endif // PGSS_WORKLOAD_KERNELS_HH

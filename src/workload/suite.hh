@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The synthetic SPEC2000-analogue suite. Each workload is a phase
+ * script: a set of kernel instances (each emitted once, so each phase
+ * owns distinct code) plus a schedule of blocks — sequences of steps
+ * that call instances a given number of times, optionally repeated to
+ * create recurring phases. DESIGN.md section 3 documents which paper
+ * property each analogue reproduces.
+ */
+
+#ifndef PGSS_WORKLOAD_SUITE_HH
+#define PGSS_WORKLOAD_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "workload/kernels.hh"
+
+namespace pgss::workload
+{
+
+/** One step of a block: call @p instance enough times for ~ops. */
+struct StepSpec
+{
+    std::string instance; ///< kernel instance name
+    double ops;           ///< dynamic-op budget per block repetition
+};
+
+/** A repeated sequence of steps (one level of schedule nesting). */
+struct BlockSpec
+{
+    std::vector<StepSpec> steps;
+    std::uint32_t repeats = 1;
+};
+
+/** A complete workload description. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<std::pair<std::string, KernelSpec>> instances;
+    std::vector<BlockSpec> blocks;
+};
+
+/** A built workload: the program plus its size estimate. */
+struct BuiltWorkload
+{
+    isa::Program program;
+    double estimated_ops = 0.0;
+};
+
+/**
+ * Assemble a runnable program from @p spec.
+ * @param scale multiplies the dynamic length (block repeats first,
+ *        residual factor applied to step op budgets). 1.0 keeps the
+ *        spec's nominal length.
+ */
+BuiltWorkload buildProgram(const WorkloadSpec &spec, double scale = 1.0);
+
+/** Names of the ten evaluation workloads, in the paper's order. */
+const std::vector<std::string> &suiteNames();
+
+/**
+ * Spec for one named workload (suite names plus "wupwise").
+ * @param input input-set variant, 0-2. The paper evaluates "the
+ *        first reference input" (0); the variants model SPEC's
+ *        alternative inputs — same code structure, different data
+ *        seeds, working-set sizes, and phase proportions — for
+ *        studying input sensitivity (offline SimPoint analyses must
+ *        be redone per input; online techniques adapt).
+ */
+WorkloadSpec workloadSpec(const std::string &name,
+                          std::uint32_t input = 0);
+
+/** Build one named workload at the given scale and input. */
+BuiltWorkload buildWorkload(const std::string &name, double scale = 1.0,
+                            std::uint32_t input = 0);
+
+/** Number of input variants available per workload. */
+constexpr std::uint32_t num_inputs = 3;
+
+} // namespace pgss::workload
+
+#endif // PGSS_WORKLOAD_SUITE_HH

@@ -1,0 +1,158 @@
+/** @file Tests for the Figure 6-9 threshold analysis. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/threshold_analysis.hh"
+#include "tests/helpers.hh"
+
+using namespace pgss;
+using namespace pgss::analysis;
+
+namespace
+{
+
+const IntervalProfile &
+profile()
+{
+    static IntervalProfile p = [] {
+        auto built = test::twoPhaseWorkload(200'000.0, 3);
+        return buildIntervalProfile(built.program, {}, 20'000);
+    }();
+    return p;
+}
+
+std::vector<DeltaPoint>
+syntheticDeltas()
+{
+    // Hand-placed points in each Figure-6 region (for threshold
+    // 0.1*pi, sigma level 0.5).
+    return {
+        {0.05 * M_PI, 1.0}, // region 1: big IPC change, small angle
+        {0.3 * M_PI, 1.2},  // region 2: detected
+        {0.02 * M_PI, 0.1}, // region 3: quiet
+        {0.4 * M_PI, 0.0},  // region 4: false positive
+        {0.3 * M_PI, 0.9},  // region 2
+    };
+}
+
+} // namespace
+
+TEST(Deltas, CountIsIntervalsMinusOne)
+{
+    const auto deltas = computeDeltas(profile());
+    EXPECT_EQ(deltas.size(), profile().intervals() - 1);
+}
+
+TEST(Deltas, AnglesWithinRange)
+{
+    for (const DeltaPoint &d : computeDeltas(profile())) {
+        EXPECT_GE(d.angle, 0.0);
+        EXPECT_LE(d.angle, M_PI / 2.0 + 1e-9);
+        EXPECT_GE(d.ipc_sigma, 0.0);
+    }
+}
+
+TEST(Deltas, PhaseBoundariesShowLargeAnglesAndIpcChanges)
+{
+    // The two-phase workload has clear transitions: some deltas must
+    // have both a large angle and a large sigma-change.
+    int big_both = 0;
+    for (const DeltaPoint &d : computeDeltas(profile()))
+        big_both += d.angle > 0.2 * M_PI && d.ipc_sigma > 0.5;
+    EXPECT_GT(big_both, 0);
+}
+
+TEST(Deltas, TooShortProfileYieldsNone)
+{
+    IntervalProfile p;
+    p.setMeta("empty", 100);
+    EXPECT_TRUE(computeDeltas(p).empty());
+    p.addInterval(100, {1.0});
+    EXPECT_TRUE(computeDeltas(p).empty());
+}
+
+TEST(Regions, PartitionIsExhaustive)
+{
+    const auto deltas = computeDeltas(profile());
+    const RegionCounts c = countRegions(deltas, 0.05 * M_PI, 0.3);
+    EXPECT_EQ(c.detected + c.undetected + c.correct_neg +
+                  c.false_positive,
+              deltas.size());
+}
+
+TEST(Regions, SyntheticPointsLandCorrectly)
+{
+    const RegionCounts c =
+        countRegions(syntheticDeltas(), 0.1 * M_PI, 0.5);
+    EXPECT_EQ(c.undetected, 1u);
+    EXPECT_EQ(c.detected, 2u);
+    EXPECT_EQ(c.correct_neg, 1u);
+    EXPECT_EQ(c.false_positive, 1u);
+}
+
+TEST(Rates, HandComputed)
+{
+    const RegionCounts c =
+        countRegions(syntheticDeltas(), 0.1 * M_PI, 0.5);
+    EXPECT_DOUBLE_EQ(detectionRate(c), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(falsePositiveRate(c), 1.0 / 3.0);
+}
+
+TEST(Rates, DegenerateCases)
+{
+    RegionCounts none;
+    EXPECT_DOUBLE_EQ(detectionRate(none), 1.0);
+    EXPECT_DOUBLE_EQ(falsePositiveRate(none), 0.0);
+}
+
+TEST(Rates, DetectionFallsAsThresholdRises)
+{
+    // Figure 8's monotone shape: a higher BBV threshold can only
+    // detect fewer significant changes.
+    const auto deltas = computeDeltas(profile());
+    double last = 1.1;
+    for (double th : {0.01, 0.05, 0.1, 0.2, 0.4}) {
+        const double rate =
+            detectionRate(countRegions(deltas, th * M_PI, 0.3));
+        EXPECT_LE(rate, last + 1e-12);
+        last = rate;
+    }
+}
+
+TEST(Rates, FalsePositivesVanishAtHighThreshold)
+{
+    const auto deltas = computeDeltas(profile());
+    const double fp = falsePositiveRate(
+        countRegions(deltas, 0.49 * M_PI, 0.3));
+    EXPECT_LE(fp, falsePositiveRate(
+                      countRegions(deltas, 0.01 * M_PI, 0.3)));
+}
+
+TEST(Rates, EqualWeightMeanAcrossBenchmarks)
+{
+    const std::vector<std::vector<DeltaPoint>> sets = {
+        syntheticDeltas(),
+        {{0.3 * M_PI, 1.0}}, // single fully-detected benchmark
+    };
+    const double mean = meanDetectionRate(sets, 0.1 * M_PI, 0.5);
+    EXPECT_DOUBLE_EQ(mean, (2.0 / 3.0 + 1.0) / 2.0);
+    const double fp = meanFalsePositiveRate(sets, 0.1 * M_PI, 0.5);
+    EXPECT_DOUBLE_EQ(fp, (1.0 / 3.0 + 0.0) / 2.0);
+}
+
+TEST(Density, EachBenchmarkContributesEqualWeight)
+{
+    std::vector<std::vector<DeltaPoint>> sets = {
+        computeDeltas(profile()), syntheticDeltas()};
+    const auto h = deltaDensity(sets);
+    EXPECT_NEAR(h.total(), 2.0, 1e-9);
+}
+
+TEST(Density, EmptySetsIgnored)
+{
+    std::vector<std::vector<DeltaPoint>> sets = {{}, syntheticDeltas()};
+    const auto h = deltaDensity(sets);
+    EXPECT_NEAR(h.total(), 1.0, 1e-9);
+}

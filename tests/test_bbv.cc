@@ -1,0 +1,230 @@
+/** @file Tests for BBV math, the hashed tracker, and full BBVs. */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bbv/bbv_math.hh"
+#include "bbv/full_bbv.hh"
+#include "bbv/hashed_bbv.hh"
+
+using namespace pgss::bbv;
+
+TEST(BbvMath, NormalizeL2UnitNorm)
+{
+    std::vector<double> v{3.0, 4.0};
+    normalizeL2(v);
+    EXPECT_DOUBLE_EQ(v[0], 0.6);
+    EXPECT_DOUBLE_EQ(v[1], 0.8);
+    EXPECT_NEAR(norm(v), 1.0, 1e-12);
+}
+
+TEST(BbvMath, NormalizeZeroVectorUntouched)
+{
+    std::vector<double> v{0.0, 0.0, 0.0};
+    normalizeL2(v);
+    EXPECT_EQ(v, (std::vector<double>{0.0, 0.0, 0.0}));
+    normalizeL1(v);
+    EXPECT_EQ(v, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(BbvMath, NormalizeL1SumsToOne)
+{
+    std::vector<double> v{1.0, 3.0, 4.0};
+    normalizeL1(v);
+    EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+}
+
+TEST(BbvMath, AngleSelfIsZero)
+{
+    const std::vector<double> v{0.2, 0.5, 0.7};
+    EXPECT_NEAR(angleBetween(v, v), 0.0, 1e-7);
+}
+
+TEST(BbvMath, AngleOrthogonalIsHalfPi)
+{
+    const std::vector<double> a{1.0, 0.0};
+    const std::vector<double> b{0.0, 2.0};
+    EXPECT_NEAR(angleBetween(a, b), M_PI / 2.0, 1e-12);
+}
+
+TEST(BbvMath, AngleOppositeIsPi)
+{
+    const std::vector<double> a{1.0, 0.0};
+    const std::vector<double> b{-3.0, 0.0};
+    EXPECT_NEAR(angleBetween(a, b), M_PI, 1e-12);
+}
+
+TEST(BbvMath, AngleSymmetric)
+{
+    const std::vector<double> a{0.3, 0.1, 0.9};
+    const std::vector<double> b{0.5, 0.5, 0.2};
+    EXPECT_DOUBLE_EQ(angleBetween(a, b), angleBetween(b, a));
+}
+
+TEST(BbvMath, AngleScaleInvariant)
+{
+    const std::vector<double> a{0.3, 0.1, 0.9};
+    std::vector<double> b{0.6, 0.2, 1.8};
+    EXPECT_NEAR(angleBetween(a, b), 0.0, 1e-7);
+}
+
+TEST(BbvMath, ZeroVectorComparesAtZeroAngle)
+{
+    const std::vector<double> z{0.0, 0.0};
+    const std::vector<double> v{1.0, 1.0};
+    EXPECT_EQ(angleBetween(z, v), 0.0);
+}
+
+TEST(BbvMathDeathTest, DotSizeMismatchPanics)
+{
+    const std::vector<double> a{1.0};
+    const std::vector<double> b{1.0, 2.0};
+    EXPECT_DEATH(dot(a, b), "size mismatch");
+}
+
+TEST(BitSelectHash, PicksDistinctBitsInRange)
+{
+    HashedBbvConfig cfg;
+    cfg.hash_bits = 5;
+    cfg.bit_range_lo = 2;
+    cfg.bit_range_hi = 14;
+    const BitSelectHash h(cfg);
+    ASSERT_EQ(h.bits().size(), 5u);
+    std::set<std::uint32_t> unique(h.bits().begin(), h.bits().end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (std::uint32_t b : h.bits()) {
+        EXPECT_GE(b, 2u);
+        EXPECT_LT(b, 14u);
+    }
+}
+
+TEST(BitSelectHash, IndexBounded)
+{
+    const BitSelectHash h(HashedBbvConfig{});
+    for (std::uint64_t a = 0; a < 100'000; a += 37)
+        EXPECT_LT(h(a), 32u);
+}
+
+TEST(BitSelectHash, DeterministicForSeed)
+{
+    HashedBbvConfig cfg;
+    const BitSelectHash h1(cfg), h2(cfg);
+    EXPECT_EQ(h1.bits(), h2.bits());
+    cfg.seed += 1;
+    const BitSelectHash h3(cfg);
+    EXPECT_NE(h1.bits(), h3.bits());
+}
+
+TEST(BitSelectHash, ExtractsConfiguredBits)
+{
+    HashedBbvConfig cfg;
+    cfg.hash_bits = 2;
+    cfg.bit_range_lo = 0;
+    cfg.bit_range_hi = 2;
+    const BitSelectHash h(cfg); // must select bits {0, 1}
+    EXPECT_EQ(h(0b00), 0u);
+    EXPECT_EQ(h(0b11), 3u);
+    const std::uint32_t one = h(0b01);
+    const std::uint32_t two = h(0b10);
+    EXPECT_NE(one, two);
+    EXPECT_EQ(one + two, 3u);
+}
+
+class HashWidthSweep
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(HashWidthSweep, RegisterFileSizeIsPowerOfTwo)
+{
+    HashedBbvConfig cfg;
+    cfg.hash_bits = GetParam();
+    cfg.bit_range_lo = 2;
+    cfg.bit_range_hi = 2 + 12;
+    HashedBbv bbv(cfg);
+    EXPECT_EQ(bbv.size(), std::size_t{1} << GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HashWidthSweep,
+                         ::testing::Values(3u, 4u, 5u, 6u, 8u));
+
+TEST(HashedBbv, AccumulatesOpsPerTakenBranch)
+{
+    HashedBbv bbv;
+    bbv.onTakenBranch(0x40, 10);
+    bbv.onTakenBranch(0x40, 5);
+    std::uint64_t total = 0;
+    for (std::uint64_t v : bbv.raw())
+        total += v;
+    EXPECT_EQ(total, 15u);
+}
+
+TEST(HashedBbv, HarvestNormalisesAndClears)
+{
+    HashedBbv bbv;
+    bbv.onTakenBranch(0x40, 100);
+    bbv.onTakenBranch(0x84, 50);
+    const std::vector<double> v = bbv.harvest();
+    double sq = 0;
+    for (double x : v)
+        sq += x * x;
+    EXPECT_NEAR(sq, 1.0, 1e-12);
+    for (std::uint64_t r : bbv.raw())
+        EXPECT_EQ(r, 0u);
+}
+
+TEST(HashedBbv, HarvestRawPreservesCounts)
+{
+    HashedBbv bbv;
+    bbv.onTakenBranch(0x40, 100);
+    const std::vector<double> v = bbv.harvestRaw();
+    double sum = 0;
+    for (double x : v)
+        sum += x;
+    EXPECT_DOUBLE_EQ(sum, 100.0);
+}
+
+TEST(HashedBbv, SameStreamsSameVectors)
+{
+    HashedBbv a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.onTakenBranch(0x40 + 4 * (i % 7), 3 + i % 5);
+        b.onTakenBranch(0x40 + 4 * (i % 7), 3 + i % 5);
+    }
+    EXPECT_EQ(a.harvest(), b.harvest());
+}
+
+TEST(HashedBbvDeathTest, BadConfigPanics)
+{
+    HashedBbvConfig cfg;
+    cfg.hash_bits = 0;
+    EXPECT_DEATH(HashedBbv b(cfg), "hash bits");
+    cfg.hash_bits = 8;
+    cfg.bit_range_lo = 4;
+    cfg.bit_range_hi = 6;
+    EXPECT_DEATH(HashedBbv b(cfg), "narrower");
+}
+
+TEST(FullBbv, HarvestSortedAndNormalised)
+{
+    FullBbvCollector c;
+    c.onTakenBranch(0x100, 10);
+    c.onTakenBranch(0x40, 30);
+    c.onTakenBranch(0x100, 10);
+    const SparseBbv v = c.harvest();
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0].first, 0x40u);
+    EXPECT_DOUBLE_EQ(v[0].second, 0.6);
+    EXPECT_EQ(v[1].first, 0x100u);
+    EXPECT_DOUBLE_EQ(v[1].second, 0.4);
+}
+
+TEST(FullBbv, HarvestClearsState)
+{
+    FullBbvCollector c;
+    c.onTakenBranch(0x40, 5);
+    c.harvest();
+    EXPECT_TRUE(c.harvest().empty());
+}

@@ -1,0 +1,112 @@
+/** @file Tests for the BTB and return-address stack. */
+
+#include <gtest/gtest.h>
+
+#include "branch/btb.hh"
+
+using namespace pgss::branch;
+
+TEST(Btb, MissBeforeInstall)
+{
+    Btb b(64);
+    std::uint64_t target = 0;
+    EXPECT_FALSE(b.lookup(0x40, target));
+}
+
+TEST(Btb, HitAfterInstall)
+{
+    Btb b(64);
+    b.update(0x40, 0x1000);
+    std::uint64_t target = 0;
+    ASSERT_TRUE(b.lookup(0x40, target));
+    EXPECT_EQ(target, 0x1000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb b(64);
+    b.update(0x40, 0x1000);
+    b.update(0x40, 0x2000);
+    std::uint64_t target = 0;
+    ASSERT_TRUE(b.lookup(0x40, target));
+    EXPECT_EQ(target, 0x2000u);
+}
+
+TEST(Btb, AliasingEvictsOldEntry)
+{
+    Btb b(64);
+    b.update(0x40, 0x1000);
+    b.update(0x40 + 64, 0x2000); // same index, different tag
+    std::uint64_t target = 0;
+    EXPECT_FALSE(b.lookup(0x40, target));
+    ASSERT_TRUE(b.lookup(0x40 + 64, target));
+    EXPECT_EQ(target, 0x2000u);
+}
+
+TEST(Btb, ResetClearsEntries)
+{
+    Btb b(64);
+    b.update(0x40, 0x1000);
+    b.reset();
+    std::uint64_t target = 0;
+    EXPECT_FALSE(b.lookup(0x40, target));
+}
+
+TEST(Btb, StateRoundTrip)
+{
+    Btb b(64);
+    b.update(0x40, 0x1000);
+    b.update(0x84, 0x2000);
+    Btb c(64);
+    c.setState(b.state());
+    std::uint64_t target = 0;
+    ASSERT_TRUE(c.lookup(0x40, target));
+    EXPECT_EQ(target, 0x1000u);
+    ASSERT_TRUE(c.lookup(0x84, target));
+    EXPECT_EQ(target, 0x2000u);
+}
+
+TEST(BtbDeathTest, NonPowerOfTwoPanics)
+{
+    EXPECT_DEATH(Btb b(100), "power of two");
+}
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    ras.push(0x10);
+    ras.pop();
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3); // overwrites the oldest
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+}
+
+TEST(Ras, ResetEmpties)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x1);
+    ras.reset();
+    EXPECT_EQ(ras.size(), 0u);
+    EXPECT_EQ(ras.pop(), 0u);
+}

@@ -1,0 +1,174 @@
+/** @file Tests for the direction predictors. */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "util/random.hh"
+
+using namespace pgss::branch;
+
+namespace
+{
+
+/** Train/measure accuracy of @p pred on a generated outcome stream. */
+template <typename NextOutcome>
+double
+accuracy(DirectionPredictor &pred, std::uint64_t pc, int n,
+         NextOutcome next)
+{
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+        const bool outcome = next(i);
+        correct += pred.predict(pc) == outcome;
+        pred.update(pc, outcome);
+    }
+    return static_cast<double>(correct) / n;
+}
+
+} // namespace
+
+TEST(Counter2Bit, SaturatesBothEnds)
+{
+    using namespace counter;
+    std::uint8_t c = 0;
+    c = update(c, false);
+    EXPECT_EQ(c, 0);
+    c = update(update(update(update(c, true), true), true), true);
+    EXPECT_EQ(c, 3);
+    EXPECT_TRUE(taken(2));
+    EXPECT_TRUE(taken(3));
+    EXPECT_FALSE(taken(1));
+    EXPECT_FALSE(taken(0));
+}
+
+TEST(Bimodal, LearnsStrongBias)
+{
+    BimodalPredictor p(1024);
+    const double acc =
+        accuracy(p, 0x40, 1000, [](int) { return true; });
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(Bimodal, ResistsSingleFlip)
+{
+    BimodalPredictor p(1024);
+    for (int i = 0; i < 10; ++i)
+        p.update(0x40, true);
+    p.update(0x40, false); // one anomaly
+    EXPECT_TRUE(p.predict(0x40)); // still predicts taken
+}
+
+TEST(Bimodal, IndependentPcsIndependentState)
+{
+    BimodalPredictor p(1024);
+    for (int i = 0; i < 10; ++i) {
+        p.update(0x40, true);
+        p.update(0x44, false);
+    }
+    EXPECT_TRUE(p.predict(0x40));
+    EXPECT_FALSE(p.predict(0x44));
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // Bimodal cannot beat 50% on strict alternation; gshare can use
+    // history to get nearly everything right.
+    GsharePredictor g(4096, 8);
+    const double acc =
+        accuracy(g, 0x80, 2000, [](int i) { return i % 2 == 0; });
+    EXPECT_GT(acc, 0.95);
+
+    BimodalPredictor b(4096);
+    const double bacc =
+        accuracy(b, 0x80, 2000, [](int i) { return i % 2 == 0; });
+    EXPECT_LT(bacc, 0.6);
+}
+
+TEST(Gshare, LearnsPeriodFourPattern)
+{
+    GsharePredictor g(4096, 8);
+    const double acc = accuracy(g, 0x80, 4000,
+                                [](int i) { return i % 4 != 3; });
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Gshare, NearRandomOnRandomStream)
+{
+    GsharePredictor g(4096, 12);
+    pgss::util::Rng rng(5);
+    const double acc = accuracy(
+        g, 0x80, 4000, [&rng](int) { return rng.nextBool(0.5); });
+    EXPECT_GT(acc, 0.35);
+    EXPECT_LT(acc, 0.65);
+}
+
+TEST(Tournament, TracksBestComponentOnMixedWorkload)
+{
+    // Branch A is strongly biased (bimodal's strength); branch B
+    // alternates (gshare's strength). The tournament should do well
+    // on both simultaneously.
+    TournamentPredictor t(4096, 10);
+    int correct_a = 0, correct_b = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const bool out_a = true;
+        const bool out_b = i % 2 == 0;
+        correct_a += t.predict(0x100) == out_a;
+        t.update(0x100, out_a);
+        correct_b += t.predict(0x204) == out_b;
+        t.update(0x204, out_b);
+    }
+    EXPECT_GT(correct_a / static_cast<double>(n), 0.97);
+    EXPECT_GT(correct_b / static_cast<double>(n), 0.90);
+}
+
+TEST(Predictors, ResetRestoresWeaklyNotTaken)
+{
+    GsharePredictor g(256, 6);
+    for (int i = 0; i < 100; ++i)
+        g.update(0x40, true);
+    g.reset();
+    EXPECT_FALSE(g.predict(0x40));
+}
+
+class PredictorStateSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::unique_ptr<DirectionPredictor>
+    make() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return std::make_unique<BimodalPredictor>(512);
+          case 1:
+            return std::make_unique<GsharePredictor>(512, 8);
+          default:
+            return std::make_unique<TournamentPredictor>(512, 8);
+        }
+    }
+};
+
+TEST_P(PredictorStateSweep, StateRoundTripPreservesPredictions)
+{
+    auto p = make();
+    pgss::util::Rng rng(11);
+    for (int i = 0; i < 500; ++i)
+        p->update(rng.nextBounded(4096) * 4, rng.nextBool(0.6));
+    const auto st = p->state();
+
+    auto q = make();
+    q->setState(st);
+    for (std::uint64_t pc = 0; pc < 512 * 4; pc += 4)
+        EXPECT_EQ(p->predict(pc), q->predict(pc)) << "pc " << pc;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredictors, PredictorStateSweep,
+                         ::testing::Values(0, 1, 2));
+
+TEST(PredictorsDeathTest, NonPowerOfTwoTablePanics)
+{
+    EXPECT_DEATH(BimodalPredictor p(1000), "power of two");
+    EXPECT_DEATH(GsharePredictor g(1000, 8), "power of two");
+}

@@ -1,0 +1,191 @@
+/** @file Tests for random projection and SimPoint selection. */
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cluster/random_projection.hh"
+#include "cluster/simpoint.hh"
+#include "util/random.hh"
+
+using namespace pgss::cluster;
+using pgss::bbv::SparseBbv;
+
+namespace
+{
+
+SparseBbv
+randomSparse(pgss::util::Rng &rng, int features)
+{
+    SparseBbv v;
+    double total = 0.0;
+    for (int f = 0; f < features; ++f) {
+        const std::uint64_t addr = 4 * (1 + rng.nextBounded(500));
+        const double w = rng.nextDouble() + 0.01;
+        v.emplace_back(addr, w);
+        total += w;
+    }
+    for (auto &[addr, w] : v)
+        w /= total;
+    return v;
+}
+
+double
+sparseDist(const SparseBbv &a, const SparseBbv &b)
+{
+    std::map<std::uint64_t, double> diff;
+    for (const auto &[addr, w] : a)
+        diff[addr] += w;
+    for (const auto &[addr, w] : b)
+        diff[addr] -= w;
+    double s = 0;
+    for (const auto &[addr, d] : diff)
+        s += d * d;
+    return std::sqrt(s);
+}
+
+double
+denseDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(s);
+}
+
+} // namespace
+
+TEST(Projection, Deterministic)
+{
+    pgss::util::Rng rng(3);
+    const SparseBbv v = randomSparse(rng, 20);
+    const RandomProjection p(15, 77);
+    EXPECT_EQ(p.project(v), p.project(v));
+    const RandomProjection q(15, 77);
+    EXPECT_EQ(p.project(v), q.project(v));
+}
+
+TEST(Projection, DifferentSeedsDiffer)
+{
+    pgss::util::Rng rng(5);
+    const SparseBbv v = randomSparse(rng, 20);
+    const RandomProjection p(15, 1), q(15, 2);
+    EXPECT_NE(p.project(v), q.project(v));
+}
+
+TEST(Projection, OutputDimensionality)
+{
+    pgss::util::Rng rng(7);
+    const RandomProjection p(15);
+    EXPECT_EQ(p.project(randomSparse(rng, 5)).size(), 15u);
+    const RandomProjection q(4);
+    EXPECT_EQ(q.project(randomSparse(rng, 5)).size(), 4u);
+}
+
+TEST(Projection, LinearInInput)
+{
+    // project(2v) == 2 * project(v) — the map is linear.
+    pgss::util::Rng rng(9);
+    SparseBbv v = randomSparse(rng, 10);
+    SparseBbv doubled = v;
+    for (auto &[addr, w] : doubled)
+        w *= 2.0;
+    const RandomProjection p(15);
+    const auto pv = p.project(v);
+    const auto pd = p.project(doubled);
+    for (std::size_t i = 0; i < pv.size(); ++i)
+        EXPECT_NEAR(pd[i], 2.0 * pv[i], 1e-12);
+}
+
+TEST(Projection, ApproximatelyPreservesDistanceOrder)
+{
+    // Johnson-Lindenstrauss flavour: with grouped vectors (small
+    // within-group distances, large across-group distances) the
+    // projected distances must correlate with the true ones. Random
+    // unstructured vectors would not work here — their pairwise
+    // distances are all alike and 15 projected dimensions cannot
+    // resolve ties.
+    pgss::util::Rng rng(11);
+    std::vector<SparseBbv> vs;
+    for (int g = 0; g < 8; ++g) {
+        const SparseBbv base = randomSparse(rng, 12);
+        for (int copy = 0; copy < 4; ++copy) {
+            SparseBbv v = base;
+            for (auto &[addr, w] : v)
+                w *= 1.0 + 0.02 * rng.nextGaussian();
+            vs.push_back(std::move(v));
+        }
+    }
+    const RandomProjection p(15);
+    const auto dense = p.projectAll(vs);
+
+    std::vector<double> td, pd;
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        for (std::size_t j = i + 1; j < vs.size(); ++j) {
+            td.push_back(sparseDist(vs[i], vs[j]));
+            pd.push_back(denseDist(dense[i], dense[j]));
+        }
+    }
+    // Pearson correlation.
+    double mt = 0, mp = 0;
+    for (std::size_t i = 0; i < td.size(); ++i) {
+        mt += td[i];
+        mp += pd[i];
+    }
+    mt /= td.size();
+    mp /= pd.size();
+    double num = 0, dt = 0, dp = 0;
+    for (std::size_t i = 0; i < td.size(); ++i) {
+        num += (td[i] - mt) * (pd[i] - mp);
+        dt += (td[i] - mt) * (td[i] - mt);
+        dp += (pd[i] - mp) * (pd[i] - mp);
+    }
+    EXPECT_GT(num / std::sqrt(dt * dp), 0.6);
+}
+
+TEST(SimPointSelection, WeightsSumToOne)
+{
+    pgss::util::Rng rng(13);
+    std::vector<SparseBbv> intervals;
+    for (int i = 0; i < 30; ++i)
+        intervals.push_back(randomSparse(rng, 8));
+    const SimPointSelection sel = selectSimPoints(intervals, 5);
+    double total = 0;
+    for (double w : sel.weights)
+        total += w;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_EQ(sel.rep_intervals.size(), sel.weights.size());
+}
+
+TEST(SimPointSelection, RepsAreValidIntervalIndices)
+{
+    pgss::util::Rng rng(17);
+    std::vector<SparseBbv> intervals;
+    for (int i = 0; i < 25; ++i)
+        intervals.push_back(randomSparse(rng, 8));
+    const SimPointSelection sel = selectSimPoints(intervals, 4);
+    for (std::uint32_t rep : sel.rep_intervals)
+        EXPECT_LT(rep, intervals.size());
+}
+
+TEST(SimPointSelection, TwoAlternatingBehavioursSeparate)
+{
+    // Intervals alternate between two fixed signatures; k=2 must
+    // pick one representative of each and ~50/50 weights.
+    const SparseBbv a = {{4, 0.7}, {8, 0.3}};
+    const SparseBbv b = {{400, 0.5}, {404, 0.5}};
+    std::vector<SparseBbv> intervals;
+    for (int i = 0; i < 20; ++i)
+        intervals.push_back(i % 2 ? a : b);
+    const SimPointSelection sel = selectSimPoints(intervals, 2);
+    ASSERT_EQ(sel.rep_intervals.size(), 2u);
+    EXPECT_NEAR(sel.weights[0], 0.5, 1e-9);
+    // Representatives come from different parities.
+    EXPECT_NE(sel.rep_intervals[0] % 2, sel.rep_intervals[1] % 2);
+}
+
+TEST(SimPointSelectionDeathTest, EmptyIntervalsPanic)
+{
+    EXPECT_DEATH(selectSimPoints({}, 3), "no intervals");
+}

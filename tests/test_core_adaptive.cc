@@ -1,0 +1,122 @@
+/** @file Tests for runtime threshold adaptation. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bbv/bbv_math.hh"
+#include "core/adaptive_threshold.hh"
+
+using namespace pgss::core;
+
+namespace
+{
+
+std::vector<double>
+unit(int axis, double tilt = 0.0)
+{
+    std::vector<double> v(6, 0.0);
+    v[axis] = 1.0;
+    v[(axis + 1) % 6] = tilt;
+    pgss::bbv::normalizeL2(v);
+    return v;
+}
+
+AdaptiveThresholdConfig
+enabledConfig()
+{
+    AdaptiveThresholdConfig c;
+    c.enabled = true;
+    c.adjust_interval = 8;
+    return c;
+}
+
+} // namespace
+
+TEST(Adaptive, DisabledNeverMoves)
+{
+    AdaptiveThresholdConfig cfg; // disabled by default
+    AdaptiveThreshold a(cfg, 0.05 * M_PI);
+    PhaseTable t;
+    for (int i = 0; i < 100; ++i) {
+        const MatchResult m = t.classify(unit(i % 6), 0.05 * M_PI);
+        a.onPeriod(t, m.created);
+    }
+    EXPECT_DOUBLE_EQ(a.threshold(), 0.05 * M_PI);
+    EXPECT_EQ(a.adjustments(), 0u);
+}
+
+TEST(Adaptive, RedundantPhaseCreationsRaiseThreshold)
+{
+    AdaptiveThreshold a(enabledConfig(), 0.02 * M_PI);
+    PhaseTable t;
+    // Mint many phases with distinct BBVs but identical sampled CPI —
+    // the false-positive signature.
+    for (int i = 0; i < 32; ++i) {
+        const MatchResult m =
+            t.classify(unit(i % 6, 0.2 * (i / 6)), 0.005 * M_PI);
+        if (m.created) {
+            t.phase(m.phase_id).addSample(1.0, 100 * i);
+            t.phase(m.phase_id).addSample(1.0, 200 * i);
+        }
+        a.onPeriod(t, m.created);
+    }
+    EXPECT_GT(a.threshold(), 0.02 * M_PI);
+    EXPECT_GT(a.adjustments(), 0u);
+}
+
+TEST(Adaptive, HighWithinPhaseDispersionLowersThreshold)
+{
+    AdaptiveThresholdConfig cfg = enabledConfig();
+    AdaptiveThreshold a(cfg, 0.2 * M_PI);
+    PhaseTable t;
+    // One phase whose samples swing wildly (CoV >> max_phase_cov).
+    const MatchResult m = t.classify(unit(0), 0.2 * M_PI);
+    Phase &p = t.phase(m.phase_id);
+    p.addSample(0.5, 1);
+    p.addSample(3.0, 2);
+    p.addSample(0.4, 3);
+    p.addSample(2.9, 4);
+    for (int i = 0; i < 20; ++i) {
+        t.classify(unit(0), 0.2 * M_PI);
+        a.onPeriod(t, false);
+    }
+    EXPECT_LT(a.threshold(), 0.2 * M_PI);
+}
+
+TEST(Adaptive, ClampedToBounds)
+{
+    AdaptiveThresholdConfig cfg = enabledConfig();
+    cfg.min_threshold = 0.04 * M_PI;
+    cfg.max_threshold = 0.06 * M_PI;
+    cfg.step = 10.0; // huge steps, must still clamp
+    AdaptiveThreshold a(cfg, 0.05 * M_PI);
+    PhaseTable t;
+    const MatchResult m = t.classify(unit(0), 0.05 * M_PI);
+    Phase &p = t.phase(m.phase_id);
+    p.addSample(0.1, 1);
+    p.addSample(5.0, 2); // extreme dispersion: pushes down
+    for (int i = 0; i < 40; ++i) {
+        t.classify(unit(0), a.threshold());
+        a.onPeriod(t, false);
+    }
+    EXPECT_GE(a.threshold(), cfg.min_threshold - 1e-12);
+    EXPECT_LE(a.threshold(), cfg.max_threshold + 1e-12);
+}
+
+TEST(Adaptive, StableBehaviourLeavesThresholdAlone)
+{
+    AdaptiveThreshold a(enabledConfig(), 0.05 * M_PI);
+    PhaseTable t;
+    const MatchResult m = t.classify(unit(0), 0.05 * M_PI);
+    Phase &p = t.phase(m.phase_id);
+    p.addSample(1.00, 1);
+    p.addSample(1.01, 2);
+    p.addSample(0.99, 3);
+    for (int i = 0; i < 50; ++i) {
+        t.classify(unit(0, 0.01), 0.05 * M_PI);
+        a.onPeriod(t, false);
+    }
+    EXPECT_DOUBLE_EQ(a.threshold(), 0.05 * M_PI);
+    EXPECT_EQ(a.adjustments(), 0u);
+}

@@ -1,0 +1,127 @@
+/** @file Tests for the two-level cache hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace pgss::mem;
+
+namespace
+{
+
+HierarchyConfig
+tinyHierarchy()
+{
+    HierarchyConfig h;
+    h.l1i = {"l1i", 1024, 2, 64};
+    h.l1d = {"l1d", 1024, 2, 64};
+    h.l2 = {"l2", 8192, 4, 64};
+    h.l1_latency = 3;
+    h.l2_latency = 12;
+    h.mem_latency = 150;
+    return h;
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdAccessPaysFullLatency)
+{
+    CacheHierarchy h(tinyHierarchy());
+    EXPECT_EQ(h.dataAccess(0x1000, false), 3u + 12u + 150u);
+}
+
+TEST(Hierarchy, L1HitPaysL1Latency)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.dataAccess(0x1000, false);
+    EXPECT_EQ(h.dataAccess(0x1000, false), 3u);
+}
+
+TEST(Hierarchy, L2HitPaysL1PlusL2)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.dataAccess(0x1000, false);
+    // Evict from L1 (2-way, 8 sets => stride 512B within L1 set, but
+    // keep the line resident in the larger L2).
+    h.dataAccess(0x1000 + 1 * 512, false);
+    h.dataAccess(0x1000 + 2 * 512, false);
+    EXPECT_EQ(h.dataAccess(0x1000, false), 3u + 12u);
+}
+
+TEST(Hierarchy, InstFetchHitIsFree)
+{
+    CacheHierarchy h(tinyHierarchy());
+    EXPECT_EQ(h.instFetch(0x40), 12u + 150u); // cold
+    EXPECT_EQ(h.instFetch(0x40), 0u);         // L1I hit
+}
+
+TEST(Hierarchy, WarmDataMatchesTimedStateEvolution)
+{
+    CacheHierarchy timed(tinyHierarchy());
+    CacheHierarchy warm(tinyHierarchy());
+    const std::uint64_t addrs[] = {0, 64, 128, 0, 4096, 64, 8192, 0};
+    for (std::uint64_t a : addrs) {
+        timed.dataAccess(a, a % 128 == 0);
+        warm.warmData(a, a % 128 == 0);
+    }
+    // After identical access streams, residency must agree.
+    for (std::uint64_t a : addrs) {
+        EXPECT_EQ(timed.l1d().probe(a), warm.l1d().probe(a)) << a;
+        EXPECT_EQ(timed.l2().probe(a), warm.l2().probe(a)) << a;
+    }
+}
+
+TEST(Hierarchy, WarmInstWarmsL1I)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.warmInst(0x80);
+    EXPECT_EQ(h.instFetch(0x80), 0u);
+}
+
+TEST(Hierarchy, DirtyL1VictimLandsInL2)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.dataAccess(0x0, true); // dirty in L1
+    // Evict it from L1 with two conflicting lines.
+    h.dataAccess(0x0 + 512, false);
+    h.dataAccess(0x0 + 1024, false);
+    // The writeback installed/updated the line in L2.
+    EXPECT_TRUE(h.l2().probe(0x0));
+}
+
+TEST(Hierarchy, FlushAllEmptiesEverything)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.dataAccess(0x40, false);
+    h.warmInst(0x80);
+    h.flushAll();
+    EXPECT_FALSE(h.l1d().probe(0x40));
+    EXPECT_FALSE(h.l1i().probe(0x80));
+    EXPECT_FALSE(h.l2().probe(0x40));
+}
+
+TEST(Hierarchy, StateRoundTrip)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.dataAccess(0x40, true);
+    h.warmInst(0x200);
+    const CacheHierarchy::State st = h.state();
+
+    CacheHierarchy h2(tinyHierarchy());
+    h2.setState(st);
+    EXPECT_TRUE(h2.l1d().probe(0x40));
+    EXPECT_TRUE(h2.l1i().probe(0x200));
+    EXPECT_EQ(h2.dataAccess(0x40, false), 3u);
+}
+
+TEST(Hierarchy, PaperDefaultGeometry)
+{
+    // The paper's configuration: split 64KB 4-way L1s, 1MB unified L2.
+    HierarchyConfig def;
+    EXPECT_EQ(def.l1i.size_bytes, 64u * 1024);
+    EXPECT_EQ(def.l1d.size_bytes, 64u * 1024);
+    EXPECT_EQ(def.l1d.assoc, 4u);
+    EXPECT_EQ(def.l2.size_bytes, 1024u * 1024);
+    CacheHierarchy h(def);
+    EXPECT_EQ(h.l1d().numSets(), 64u * 1024 / (4 * 64));
+}

@@ -1,0 +1,128 @@
+/** @file Tests for the offline SimPoint baseline. */
+
+#include <gtest/gtest.h>
+
+#include "sampling/simpoint_sampler.hh"
+#include "tests/helpers.hh"
+
+using namespace pgss;
+using namespace pgss::sampling;
+
+namespace
+{
+
+struct Fixture
+{
+    workload::BuiltWorkload built = test::twoPhaseWorkload(300'000.0, 8);
+    analysis::IntervalProfile profile =
+        analysis::buildIntervalProfile(built.program, {}, 50'000);
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+SimPointConfig
+config(std::uint32_t k, std::uint64_t interval = 100'000)
+{
+    SimPointConfig c;
+    c.interval_ops = interval;
+    c.clusters = k;
+    return c;
+}
+
+} // namespace
+
+TEST(SimPoint, PicksRequestedClusterCount)
+{
+    Fixture &f = fixture();
+    const SimPointRun run =
+        runSimPoint(f.built.program, {}, config(4), f.profile);
+    EXPECT_EQ(run.result.n_samples, 4u);
+    EXPECT_EQ(run.selection.rep_intervals.size(), 4u);
+}
+
+TEST(SimPoint, DetailedOpsAreClustersTimesInterval)
+{
+    Fixture &f = fixture();
+    const SimPointRun run =
+        runSimPoint(f.built.program, {}, config(5), f.profile);
+    EXPECT_EQ(run.result.detailed_ops, 5u * 100'000u);
+}
+
+TEST(SimPoint, AccurateWithTwoClustersOnTwoPhases)
+{
+    // k=2 on a two-phase program: boundary-straddling intervals make
+    // this the hardest configuration, but the estimate must still be
+    // in the right neighbourhood.
+    Fixture &f = fixture();
+    const SimPointRun run =
+        runSimPoint(f.built.program, {}, config(2), f.profile);
+    EXPECT_LT(run.result.errorVs(f.profile.trueIpc()), 0.35);
+}
+
+TEST(SimPoint, MoreClustersImproveAccuracy)
+{
+    Fixture &f = fixture();
+    const SimPointRun run =
+        runSimPoint(f.built.program, {}, config(8), f.profile);
+    EXPECT_LT(run.result.errorVs(f.profile.trueIpc()), 0.15);
+}
+
+TEST(SimPoint, WeightsSumToOne)
+{
+    Fixture &f = fixture();
+    const SimPointRun run =
+        runSimPoint(f.built.program, {}, config(3), f.profile);
+    double total = 0;
+    for (double w : run.selection.weights)
+        total += w;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SimPoint, FunctionalPassCoversWholeProgram)
+{
+    Fixture &f = fixture();
+    const SimPointRun run =
+        runSimPoint(f.built.program, {}, config(3), f.profile);
+    sim::SimulationEngine probe(f.built.program);
+    probe.runToCompletion(sim::SimMode::FunctionalFast);
+    EXPECT_EQ(run.result.functional_ops, probe.totalOps());
+}
+
+TEST(SimPoint, Deterministic)
+{
+    Fixture &f = fixture();
+    const SimPointRun a =
+        runSimPoint(f.built.program, {}, config(3), f.profile);
+    const SimPointRun b =
+        runSimPoint(f.built.program, {}, config(3), f.profile);
+    EXPECT_EQ(a.result.est_cpi, b.result.est_cpi);
+    EXPECT_EQ(a.selection.rep_intervals, b.selection.rep_intervals);
+}
+
+TEST(SimPoint, CoarserIntervalsFewerPoints)
+{
+    Fixture &f = fixture();
+    // 500k-op intervals: far fewer complete intervals than the
+    // requested clusters, so the cluster count clamps to them.
+    const SimPointRun run = runSimPoint(f.built.program, {},
+                                        config(10, 500'000),
+                                        f.profile);
+    const std::uint64_t max_intervals =
+        f.profile.totalOps() / 500'000;
+    EXPECT_LE(run.result.n_samples, max_intervals);
+    EXPECT_LT(run.result.n_samples, 10u);
+    EXPECT_GT(run.result.n_samples, 0u);
+}
+
+TEST(SimPointDeathTest, IntervalMustDivideProfileGranularity)
+{
+    Fixture &f = fixture();
+    EXPECT_DEATH(runSimPoint(f.built.program, {},
+                             config(3, 130'000), f.profile),
+                 "multiple");
+}

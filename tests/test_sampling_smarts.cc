@@ -1,0 +1,112 @@
+/** @file Tests for the SMARTS baseline. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/interval_profile.hh"
+#include "sampling/smarts.hh"
+#include "tests/helpers.hh"
+
+using namespace pgss;
+using namespace pgss::sampling;
+
+namespace
+{
+
+SmartsConfig
+testConfig()
+{
+    SmartsConfig c;
+    c.ff_period = 50'000;
+    return c;
+}
+
+} // namespace
+
+TEST(Smarts, SampleCountMatchesPeriodicity)
+{
+    auto built = test::twoPhaseWorkload(200'000.0, 3);
+    sim::SimulationEngine engine(built.program);
+    const SmartsRun run = runSmarts(engine, testConfig());
+    const std::uint64_t expected =
+        engine.totalOps() / (50'000 + 4'000);
+    EXPECT_NEAR(static_cast<double>(run.result.n_samples),
+                static_cast<double>(expected), 2.0);
+    EXPECT_EQ(run.sample_cpis.size(), run.result.n_samples);
+}
+
+TEST(Smarts, DetailedOpsAreFourThousandPerSample)
+{
+    auto built = test::twoPhaseWorkload(200'000.0, 3);
+    sim::SimulationEngine engine(built.program);
+    const SmartsRun run = runSmarts(engine, testConfig());
+    EXPECT_EQ(run.result.detailed_ops, run.result.n_samples * 4'000);
+    EXPECT_GT(run.result.functional_ops,
+              run.result.detailed_ops * 5);
+}
+
+TEST(Smarts, AccurateOnTwoPhaseWorkload)
+{
+    // The phases' CPIs differ ~15x, so the per-sample dispersion is
+    // huge; with ~90 samples the expected relative error is ~10%.
+    auto built = test::twoPhaseWorkload(300'000.0, 8);
+    const auto profile =
+        analysis::buildIntervalProfile(built.program, {}, 50'000);
+    sim::SimulationEngine engine(built.program);
+    const SmartsRun run = runSmarts(engine, testConfig());
+    EXPECT_LT(run.result.errorVs(profile.trueIpc()), 0.20);
+}
+
+TEST(Smarts, VeryAccurateOnStationaryWorkload)
+{
+    // A single-kernel workload has no phase behaviour; systematic
+    // sampling nails it.
+    workload::WorkloadSpec w;
+    w.name = "stationary";
+    workload::KernelSpec k;
+    k.kind = workload::KernelKind::Reduce;
+    k.footprint_bytes = 64 * 1024;
+    k.seed = 7;
+    w.instances = {{"only", k}};
+    // Long enough that the cold-start transient (which systematic
+    // sampling skips) is a small share of the truth.
+    w.blocks = {{{{"only", 150'000.0}}, 40}};
+    auto built = workload::buildProgram(w, 1.0);
+
+    const auto profile =
+        analysis::buildIntervalProfile(built.program, {}, 50'000);
+    sim::SimulationEngine engine(built.program);
+    const SmartsRun run = runSmarts(engine, testConfig());
+    EXPECT_LT(run.result.errorVs(profile.trueIpc()), 0.05);
+}
+
+TEST(Smarts, EstimateIsInverseOfMeanCpi)
+{
+    auto built = test::twoPhaseWorkload(150'000.0, 2);
+    sim::SimulationEngine engine(built.program);
+    const SmartsRun run = runSmarts(engine, testConfig());
+    double mean = 0;
+    for (double c : run.sample_cpis)
+        mean += c;
+    mean /= run.sample_cpis.size();
+    EXPECT_NEAR(run.result.est_cpi, mean, 1e-12);
+    EXPECT_NEAR(run.result.est_ipc, 1.0 / mean, 1e-12);
+}
+
+TEST(Smarts, Deterministic)
+{
+    auto built = test::twoPhaseWorkload(150'000.0, 2);
+    sim::SimulationEngine e1(built.program);
+    sim::SimulationEngine e2(built.program);
+    const SmartsRun a = runSmarts(e1, testConfig());
+    const SmartsRun b = runSmarts(e2, testConfig());
+    EXPECT_EQ(a.sample_cpis, b.sample_cpis);
+}
+
+TEST(Smarts, ErrorHelperComputesRelativeError)
+{
+    SamplerResult r;
+    r.est_ipc = 1.1;
+    EXPECT_NEAR(r.errorVs(1.0), 0.1, 1e-12);
+    EXPECT_NEAR(r.errorVs(2.2), 0.5, 1e-12);
+    EXPECT_EQ(r.errorVs(0.0), 0.0);
+}

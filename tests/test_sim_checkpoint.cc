@@ -1,0 +1,112 @@
+/** @file Tests for simulation checkpoints. */
+
+#include <gtest/gtest.h>
+
+#include "sim/checkpoint.hh"
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+
+using namespace pgss;
+using sim::SimMode;
+
+TEST(Checkpoint, RestoreReplaysIdenticalExecution)
+{
+    auto built = test::twoPhaseWorkload(100'000.0, 2);
+    sim::SimulationEngine e(built.program);
+    e.run(150'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint ckpt = e.checkpoint();
+    EXPECT_EQ(ckpt.retired(), 150'000u);
+
+    // Continue 50k ops, snapshot the architectural state.
+    e.run(50'000, SimMode::FunctionalWarm);
+    std::array<std::uint64_t, isa::num_regs> regs_a{};
+    for (int r = 0; r < isa::num_regs; ++r)
+        regs_a[r] = e.core().reg(r);
+    const std::uint64_t pc_a = e.core().pc();
+
+    // Rewind and replay.
+    e.restore(ckpt);
+    EXPECT_EQ(e.totalOps(), 150'000u);
+    e.run(50'000, SimMode::FunctionalWarm);
+    for (int r = 0; r < isa::num_regs; ++r)
+        EXPECT_EQ(e.core().reg(r), regs_a[r]) << "reg " << r;
+    EXPECT_EQ(e.core().pc(), pc_a);
+}
+
+TEST(Checkpoint, RestoredMeasurementMatchesContinuous)
+{
+    // Measure a detailed window at position P in one continuous run,
+    // then via checkpoint/restore: the measured cycles must agree
+    // (this is the property TurboSMARTS live-points rely on).
+    auto built = test::twoPhaseWorkload(150'000.0, 2);
+
+    sim::SimulationEngine cont(built.program);
+    cont.run(200'000, SimMode::FunctionalWarm);
+    cont.run(3'000, SimMode::DetailedWarm);
+    const sim::RunResult direct =
+        cont.run(1'000, SimMode::DetailedMeasure);
+
+    sim::SimulationEngine ck(built.program);
+    ck.run(200'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint ckpt = ck.checkpoint();
+    ck.run(50'000, SimMode::FunctionalWarm); // wander off
+    ck.restore(ckpt);
+    ck.run(3'000, SimMode::DetailedWarm);
+    const sim::RunResult replay =
+        ck.run(1'000, SimMode::DetailedMeasure);
+
+    EXPECT_EQ(replay.ops, direct.ops);
+    EXPECT_EQ(replay.cycles, direct.cycles);
+}
+
+TEST(Checkpoint, SerializeDeserializeRoundTrip)
+{
+    auto built = test::twoPhaseWorkload(60'000.0, 1);
+    sim::SimulationEngine e(built.program);
+    e.run(40'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint ckpt = e.checkpoint();
+
+    const std::vector<std::uint8_t> bytes = ckpt.serialize();
+    ASSERT_FALSE(bytes.empty());
+    bool ok = false;
+    const sim::Checkpoint back = sim::Checkpoint::deserialize(bytes, ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(back.retired(), ckpt.retired());
+
+    // The deserialized checkpoint restores and continues identically.
+    e.run(30'000, SimMode::FunctionalWarm);
+    const std::uint64_t reg5_after = e.core().reg(5);
+    e.restore(back);
+    e.run(30'000, SimMode::FunctionalWarm);
+    EXPECT_EQ(e.core().reg(5), reg5_after);
+}
+
+TEST(Checkpoint, DeserializeRejectsGarbage)
+{
+    bool ok = true;
+    sim::Checkpoint::deserialize({1, 2, 3, 4, 5}, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Checkpoint, DeserializeRejectsTruncation)
+{
+    auto built = test::twoPhaseWorkload(30'000.0, 1);
+    sim::SimulationEngine e(built.program);
+    e.run(10'000, SimMode::FunctionalWarm);
+    auto bytes = e.checkpoint().serialize();
+    bytes.resize(bytes.size() / 2);
+    bool ok = true;
+    sim::Checkpoint::deserialize(bytes, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(CheckpointDeathTest, RestoreAcrossProgramsPanics)
+{
+    auto a = test::twoPhaseWorkload(30'000.0, 1);
+    auto b = test::sumProgram(100); // different data size
+    sim::SimulationEngine ea(a.program);
+    sim::SimulationEngine eb(b);
+    ea.run(1'000, SimMode::FunctionalFast);
+    const sim::Checkpoint ckpt = ea.checkpoint();
+    EXPECT_DEATH(eb.restore(ckpt), "different program");
+}

@@ -1,0 +1,160 @@
+/** @file Tests for the checkpoint library and seek acceleration. */
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "sampling/checkpointed.hh"
+#include "sim/checkpoint_library.hh"
+#include "tests/helpers.hh"
+
+using namespace pgss;
+
+namespace
+{
+
+struct LibFixture
+{
+    std::string dir;
+    workload::BuiltWorkload built;
+    sim::CheckpointLibrary library;
+
+    LibFixture()
+        : dir(::testing::TempDir() + "/pgss_ckpt_lib_test"),
+          built(test::twoPhaseWorkload(150'000.0, 3)), library(dir)
+    {
+        std::filesystem::remove_all(dir);
+        library.record(built.program, {}, 200'000);
+    }
+
+    ~LibFixture() { std::filesystem::remove_all(dir); }
+};
+
+} // namespace
+
+TEST(CheckpointLibrary, RecordsExpectedPositions)
+{
+    LibFixture f;
+    ASSERT_FALSE(f.library.positions().empty());
+    EXPECT_EQ(f.library.stride(), 200'000u);
+    std::uint64_t expected = 0;
+    for (std::uint64_t p : f.library.positions()) {
+        EXPECT_EQ(p, expected);
+        expected += 200'000;
+    }
+}
+
+TEST(CheckpointLibrary, SeekMatchesSequentialExecution)
+{
+    LibFixture f;
+    // Sequential reference.
+    sim::SimulationEngine seq(f.built.program);
+    seq.run(450'000, sim::SimMode::FunctionalWarm);
+    seq.run(3'000, sim::SimMode::DetailedWarm);
+    const sim::RunResult ref =
+        seq.run(1'000, sim::SimMode::DetailedMeasure);
+
+    // Seek via the library.
+    sim::SimulationEngine eng(f.built.program);
+    const sim::SeekResult seek = f.library.seekTo(eng, 450'000);
+    EXPECT_TRUE(seek.from_checkpoint);
+    EXPECT_EQ(seek.restored_at, 400'000u);
+    EXPECT_EQ(seek.warmed_ops, 50'000u);
+    EXPECT_EQ(eng.totalOps(), 450'000u);
+    eng.run(3'000, sim::SimMode::DetailedWarm);
+    const sim::RunResult got =
+        eng.run(1'000, sim::SimMode::DetailedMeasure);
+
+    EXPECT_EQ(got.ops, ref.ops);
+    EXPECT_EQ(got.cycles, ref.cycles);
+}
+
+TEST(CheckpointLibrary, BackwardSeeksWork)
+{
+    LibFixture f;
+    sim::SimulationEngine eng(f.built.program);
+    f.library.seekTo(eng, 620'000);
+    // Going backwards restores an earlier checkpoint.
+    const sim::SeekResult back = f.library.seekTo(eng, 250'000);
+    EXPECT_TRUE(back.from_checkpoint);
+    EXPECT_EQ(back.restored_at, 200'000u);
+    EXPECT_EQ(eng.totalOps(), 250'000u);
+}
+
+TEST(CheckpointLibrary, ForwardSeekNearbySkipsRestore)
+{
+    LibFixture f;
+    sim::SimulationEngine eng(f.built.program);
+    f.library.seekTo(eng, 410'000);
+    // 20k further: warming on is cheaper than restoring 400k + 30k.
+    const sim::SeekResult hop = f.library.seekTo(eng, 430'000);
+    EXPECT_FALSE(hop.from_checkpoint);
+    EXPECT_EQ(hop.warmed_ops, 20'000u);
+}
+
+TEST(CheckpointLibrary, OpenLoadsRecordedMetadata)
+{
+    LibFixture f;
+    sim::CheckpointLibrary other(f.dir);
+    ASSERT_TRUE(other.open(f.built.program, {}));
+    EXPECT_EQ(other.positions(), f.library.positions());
+    EXPECT_EQ(other.stride(), 200'000u);
+
+    sim::SimulationEngine eng(f.built.program);
+    const sim::SeekResult seek = other.seekTo(eng, 300'000);
+    EXPECT_TRUE(seek.from_checkpoint);
+}
+
+TEST(CheckpointLibrary, OpenFailsForUnknownProgram)
+{
+    LibFixture f;
+    const isa::Program other = test::sumProgram(100);
+    sim::CheckpointLibrary lib(f.dir);
+    EXPECT_FALSE(lib.open(other, {}));
+}
+
+TEST(CheckpointedSampling, RandomOrderMatchesInOrder)
+{
+    LibFixture f;
+    const std::vector<std::uint64_t> in_order = {
+        250'000, 480'000, 700'000, 910'000};
+    const std::vector<std::uint64_t> shuffled = {
+        910'000, 250'000, 700'000, 480'000};
+
+    const sampling::CheckpointedMeasurement a =
+        sampling::measureWindowsViaLibrary(f.built.program, {},
+                                           f.library, in_order);
+    const sampling::CheckpointedMeasurement b =
+        sampling::measureWindowsViaLibrary(f.built.program, {},
+                                           f.library, shuffled);
+    ASSERT_EQ(a.cpis.size(), 4u);
+    ASSERT_EQ(b.cpis.size(), 4u);
+    // Same windows measured, independent of processing order.
+    EXPECT_DOUBLE_EQ(a.cpis[0], b.cpis[1]); // 250k
+    EXPECT_DOUBLE_EQ(a.cpis[1], b.cpis[3]); // 480k
+    EXPECT_DOUBLE_EQ(a.cpis[2], b.cpis[2]); // 700k
+    EXPECT_DOUBLE_EQ(a.cpis[3], b.cpis[0]); // 910k
+}
+
+TEST(CheckpointedSampling, WarmingBoundedByStride)
+{
+    LibFixture f;
+    const std::vector<std::uint64_t> positions = {
+        800'000, 150'000, 550'000};
+    const sampling::CheckpointedMeasurement m =
+        sampling::measureWindowsViaLibrary(f.built.program, {},
+                                           f.library, positions);
+    // Without checkpoints this costs 950k + 150k + 550k of
+    // fast-forwarding (or is impossible out of order); with them,
+    // at most one stride each.
+    EXPECT_LE(m.warmed_ops, 3u * 200'000u);
+    EXPECT_GE(m.restores, 2u);
+    EXPECT_EQ(m.detailed_ops, 3u * 4'000u);
+}
+
+TEST(CheckpointLibraryDeathTest, ZeroStridePanics)
+{
+    sim::CheckpointLibrary lib("/tmp/unused");
+    auto built = test::twoPhaseWorkload(50'000.0, 1);
+    EXPECT_DEATH(lib.record(built.program, {}, 0), "stride");
+}

@@ -1,0 +1,190 @@
+/** @file Tests for the mode-switching simulation engine. */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+
+using namespace pgss;
+using sim::SimMode;
+
+TEST(Engine, RunsExactInstructionCounts)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 2);
+    sim::SimulationEngine e(built.program);
+    const sim::RunResult r = e.run(1234, SimMode::FunctionalFast);
+    EXPECT_EQ(r.ops, 1234u);
+    EXPECT_EQ(e.totalOps(), 1234u);
+}
+
+TEST(Engine, ModeAccountingSumsToTotal)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 2);
+    sim::SimulationEngine e(built.program);
+    e.run(1000, SimMode::FunctionalFast);
+    e.run(2000, SimMode::FunctionalWarm);
+    e.run(300, SimMode::DetailedWarm);
+    e.run(100, SimMode::DetailedMeasure);
+    const sim::ModeOps &m = e.modeOps();
+    EXPECT_EQ(m.functional_fast, 1000u);
+    EXPECT_EQ(m.functional_warm, 2000u);
+    EXPECT_EQ(m.detailed_warm, 300u);
+    EXPECT_EQ(m.detailed_measure, 100u);
+    EXPECT_EQ(m.total(), e.totalOps());
+    EXPECT_EQ(m.detailed(), 400u);
+}
+
+TEST(Engine, RunToCompletionHalts)
+{
+    auto built = test::twoPhaseWorkload(20'000.0, 2);
+    sim::SimulationEngine e(built.program);
+    const sim::RunResult r =
+        e.runToCompletion(SimMode::FunctionalFast);
+    EXPECT_TRUE(e.halted());
+    EXPECT_EQ(r.ops, e.totalOps());
+    // Further runs are no-ops.
+    EXPECT_EQ(e.run(100, SimMode::FunctionalFast).ops, 0u);
+}
+
+TEST(Engine, CyclesAdvanceOnlyInDetailedModes)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 2);
+    sim::SimulationEngine e(built.program);
+    e.run(5000, SimMode::FunctionalFast);
+    EXPECT_EQ(e.cycles(), 0u);
+    e.run(5000, SimMode::FunctionalWarm);
+    EXPECT_EQ(e.cycles(), 0u);
+    const sim::RunResult r = e.run(5000, SimMode::DetailedMeasure);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(e.cycles(), r.cycles);
+}
+
+TEST(Engine, FunctionalFastDoesNotWarmCaches)
+{
+    auto built = test::twoPhaseWorkload(100'000.0, 2);
+    sim::SimulationEngine e(built.program);
+    e.run(100'000, SimMode::FunctionalFast);
+    EXPECT_EQ(e.hierarchy().l1d().stats().hits +
+                  e.hierarchy().l1d().stats().misses,
+              0u);
+}
+
+TEST(Engine, FunctionalWarmingImprovesSampleAccuracy)
+{
+    // Measure a window inside the chase phase (its 512 KiB working
+    // set lives in the L2) after warm vs cold fast-forwarding: the
+    // warmed engine must see far fewer L2 misses in the window.
+    auto built = test::twoPhaseWorkload(400'000.0, 2);
+
+    sim::SimulationEngine warm(built.program);
+    warm.run(550'000, SimMode::FunctionalWarm);
+    const std::uint64_t warm_before =
+        warm.hierarchy().l2().stats().misses;
+    warm.run(20'000, SimMode::DetailedMeasure);
+    const std::uint64_t warm_misses =
+        warm.hierarchy().l2().stats().misses - warm_before;
+
+    sim::SimulationEngine cold(built.program);
+    cold.run(550'000, SimMode::FunctionalFast);
+    cold.run(20'000, SimMode::DetailedMeasure);
+    const std::uint64_t cold_misses =
+        cold.hierarchy().l2().stats().misses;
+
+    EXPECT_LT(warm_misses * 2, cold_misses);
+}
+
+TEST(Engine, DetailedAndWarmProduceSameArchitecturalState)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 2);
+    sim::SimulationEngine a(built.program);
+    sim::SimulationEngine b(built.program);
+    a.runToCompletion(SimMode::DetailedMeasure);
+    b.runToCompletion(SimMode::FunctionalWarm);
+    EXPECT_EQ(a.totalOps(), b.totalOps());
+    for (int r = 0; r < isa::num_regs; ++r)
+        EXPECT_EQ(a.core().reg(r), b.core().reg(r)) << "reg " << r;
+}
+
+TEST(Engine, HashedBbvAccumulatesOnlyWhenEnabled)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 2);
+    sim::SimulationEngine e(built.program);
+    e.run(10'000, SimMode::FunctionalWarm);
+    // Disabled: harvest is all zeros (normalised to zero vector).
+    auto v = e.harvestHashedBbv();
+    double sum = 0;
+    for (double x : v)
+        sum += x * x;
+    EXPECT_EQ(sum, 0.0);
+
+    e.setHashedBbvEnabled(true);
+    e.run(10'000, SimMode::FunctionalWarm);
+    v = e.harvestHashedBbv();
+    sum = 0;
+    for (double x : v)
+        sum += x * x;
+    EXPECT_NEAR(sum, 1.0, 1e-9); // unit L2 norm
+}
+
+TEST(Engine, HashedBbvDistinguishesPhases)
+{
+    auto built = test::twoPhaseWorkload(200'000.0, 1);
+    sim::SimulationEngine e(built.program);
+    e.setHashedBbvEnabled(true);
+    // First chunk: compute phase. Skip to the chase phase and
+    // harvest again.
+    e.run(150'000, SimMode::FunctionalWarm);
+    const auto bbv_a = e.harvestHashedBbv();
+    e.run(100'000, SimMode::FunctionalWarm); // into phase B
+    e.harvestHashedBbv();                    // boundary-straddling
+    e.run(80'000, SimMode::FunctionalWarm);
+    const auto bbv_b = e.harvestHashedBbv();
+
+    double dot = 0;
+    for (std::size_t i = 0; i < bbv_a.size(); ++i)
+        dot += bbv_a[i] * bbv_b[i];
+    EXPECT_LT(dot, 0.9); // clearly different signatures
+}
+
+TEST(Engine, FullBbvTracksTakenBranchAddresses)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 1);
+    sim::SimulationEngine e(built.program);
+    e.setFullBbvEnabled(true);
+    e.run(20'000, SimMode::FunctionalFast);
+    const bbv::SparseBbv v = e.harvestFullBbv();
+    EXPECT_FALSE(v.empty());
+    double total = 0;
+    for (const auto &[addr, w] : v) {
+        EXPECT_EQ(addr % 4, 0u); // byte addresses of instructions
+        total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9); // L1-normalised
+}
+
+TEST(Engine, BranchStatsAccumulateInWarmMode)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 1);
+    sim::SimulationEngine e(built.program);
+    e.run(30'000, SimMode::FunctionalWarm);
+    EXPECT_GT(e.branchUnit().stats().branches, 0u);
+}
+
+TEST(Engine, ProgramDataImageLoaded)
+{
+    // The two-phase workload's chase kernel requires its pointer
+    // permutation in memory; a zeroed image would chase address 0
+    // forever. Completion proves the image was installed.
+    auto built = test::twoPhaseWorkload(30'000.0, 1);
+    sim::SimulationEngine e(built.program);
+    e.runToCompletion(SimMode::FunctionalFast);
+    EXPECT_TRUE(e.halted());
+}
+
+TEST(Engine, ModeNames)
+{
+    EXPECT_STREQ(sim::modeName(SimMode::FunctionalFast),
+                 "functional-fast");
+    EXPECT_STREQ(sim::modeName(SimMode::DetailedMeasure),
+                 "detailed-measure");
+}

@@ -1,0 +1,140 @@
+/** @file Tests for quantiles and confidence intervals. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/confidence.hh"
+#include "util/random.hh"
+
+using namespace pgss::stats;
+
+TEST(NormalQuantile, KnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.9985), 2.967738, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(NormalQuantile, SymmetricAboutHalf)
+{
+    for (double p : {0.6, 0.8, 0.95, 0.999})
+        EXPECT_NEAR(normalQuantile(p), -normalQuantile(1.0 - p), 1e-8);
+}
+
+TEST(NormalQuantileDeathTest, DomainChecked)
+{
+    EXPECT_DEATH(normalQuantile(0.0), "domain");
+    EXPECT_DEATH(normalQuantile(1.0), "domain");
+}
+
+TEST(TQuantile, CauchyCaseExact)
+{
+    // df=1 is the Cauchy distribution: t_{0.75} = 1.
+    EXPECT_NEAR(tQuantile(0.75, 1), 1.0, 1e-9);
+    EXPECT_NEAR(tQuantile(0.975, 1), 12.7062, 1e-3);
+}
+
+TEST(TQuantile, DfTwoExact)
+{
+    EXPECT_NEAR(tQuantile(0.975, 2), 4.30265, 1e-4);
+    EXPECT_NEAR(tQuantile(0.95, 2), 2.91999, 1e-4);
+}
+
+TEST(TQuantile, TabulatedValues)
+{
+    // Standard t-table spot checks.
+    EXPECT_NEAR(tQuantile(0.975, 5), 2.5706, 5e-3);
+    EXPECT_NEAR(tQuantile(0.975, 10), 2.2281, 5e-3);
+    EXPECT_NEAR(tQuantile(0.975, 30), 2.0423, 5e-3);
+    EXPECT_NEAR(tQuantile(0.95, 10), 1.8125, 5e-3);
+    EXPECT_NEAR(tQuantile(0.995, 10), 3.1693, 2e-2);
+}
+
+TEST(TQuantile, ApproachesNormalForLargeDf)
+{
+    EXPECT_NEAR(tQuantile(0.975, 1000), normalQuantile(0.975), 1e-2);
+    EXPECT_DOUBLE_EQ(tQuantile(0.975, 500),
+                     normalQuantile(0.975)); // df > 200 delegates
+}
+
+TEST(TQuantile, DecreasesWithDf)
+{
+    for (std::uint64_t df : {2ull, 3ull, 5ull, 10ull, 50ull})
+        EXPECT_GT(tQuantile(0.975, df), tQuantile(0.975, df * 2));
+}
+
+TEST(CiHalfWidth, InfiniteBelowTwoSamples)
+{
+    RunningStats s;
+    EXPECT_TRUE(std::isinf(ciHalfWidth(s, 0.95)));
+    s.add(1.0);
+    EXPECT_TRUE(std::isinf(ciHalfWidth(s, 0.95)));
+}
+
+TEST(CiHalfWidth, MatchesHandComputation)
+{
+    RunningStats s;
+    for (double x : {10.0, 12.0, 11.0, 9.0, 13.0})
+        s.add(x);
+    // t(0.975, 4) * sqrt(var/5)
+    const double expected =
+        tQuantile(0.975, 4) * std::sqrt(s.variance() / 5.0);
+    EXPECT_NEAR(ciHalfWidth(s, 0.95), expected, 1e-12);
+}
+
+TEST(CiHalfWidth, ShrinksWithSamples)
+{
+    pgss::util::Rng rng(3);
+    RunningStats s;
+    double hw_small = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        s.add(5.0 + rng.nextGaussian());
+        if (i == 20)
+            hw_small = ciHalfWidth(s, 0.95);
+    }
+    EXPECT_LT(ciHalfWidth(s, 0.95), hw_small / 3.0);
+}
+
+TEST(WithinConfidence, RespectsMinSamples)
+{
+    RunningStats s;
+    s.add(10.0);
+    s.add(10.0);
+    s.add(10.0);
+    // Zero variance, but the floor demands 5 samples.
+    EXPECT_FALSE(withinConfidence(s, 0.95, 0.03, 5));
+    s.add(10.0);
+    s.add(10.0);
+    EXPECT_TRUE(withinConfidence(s, 0.95, 0.03, 5));
+}
+
+TEST(WithinConfidence, RejectsWideDispersion)
+{
+    RunningStats s;
+    for (double x : {1.0, 9.0, 2.0, 8.0, 3.0, 7.0})
+        s.add(x);
+    EXPECT_FALSE(withinConfidence(s, 0.95, 0.03));
+}
+
+TEST(CiCoverage, NominalCoverageOnGaussianDraws)
+{
+    // Property test: 95% CIs over repeated experiments should cover
+    // the true mean ~95% of the time.
+    pgss::util::Rng rng(123);
+    const double true_mean = 42.0;
+    int covered = 0;
+    const int trials = 800;
+    for (int t = 0; t < trials; ++t) {
+        RunningStats s;
+        for (int i = 0; i < 15; ++i)
+            s.add(true_mean + 2.0 * rng.nextGaussian());
+        const double hw = ciHalfWidth(s, 0.95);
+        covered += std::abs(s.mean() - true_mean) <= hw;
+    }
+    const double rate = covered / static_cast<double>(trials);
+    EXPECT_GT(rate, 0.92);
+    EXPECT_LT(rate, 0.98);
+}

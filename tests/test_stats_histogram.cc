@@ -1,0 +1,110 @@
+/** @file Tests for histograms. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+using namespace pgss::stats;
+
+TEST(Histogram, BinningAndCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.binFor(0.5), 0u);
+    EXPECT_EQ(h.binFor(9.5), 9u);
+    EXPECT_EQ(h.binFor(5.0), 5u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(3), 1.0);
+}
+
+TEST(Histogram, WeightsAccumulate)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 2.0);
+    h.add(1.5, 3.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(1), 5.0);
+    EXPECT_DOUBLE_EQ(h.total(), 5.0);
+}
+
+TEST(Histogram, NormalizedSumsToOne)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5, 1.0);
+    h.add(1.5, 3.0);
+    const auto n = h.normalized();
+    EXPECT_DOUBLE_EQ(n[0], 0.25);
+    EXPECT_DOUBLE_EQ(n[1], 0.75);
+}
+
+TEST(Histogram, ModeCountBimodal)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 50; ++i)
+        h.add(2.5);
+    for (int i = 0; i < 40; ++i)
+        h.add(7.5);
+    EXPECT_EQ(h.modeCount(0.05), 2u);
+}
+
+TEST(Histogram, ModeCountUnimodal)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 30; ++i) {
+        h.add(4.5);
+        h.add(5.1);
+        h.add(5.2);
+    }
+    EXPECT_EQ(h.modeCount(0.05), 1u);
+}
+
+TEST(Histogram, ModeCountEmpty)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.modeCount(), 0u);
+}
+
+TEST(HistogramDeathTest, BadConstruction)
+{
+    EXPECT_DEATH(Histogram(1.0, 0.0, 4), "increasing");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "one bin");
+}
+
+TEST(Histogram2d, CellsAccumulate)
+{
+    Histogram2d h(0.0, 1.0, 4, 0.0, 1.0, 4);
+    h.add(0.1, 0.1);
+    h.add(0.1, 0.1, 2.0);
+    h.add(0.9, 0.9);
+    EXPECT_DOUBLE_EQ(h.cell(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(h.cell(3, 3), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram2d, ClampsIntoRange)
+{
+    Histogram2d h(0.0, 1.0, 2, 0.0, 1.0, 2);
+    h.add(-1.0, 5.0);
+    EXPECT_DOUBLE_EQ(h.cell(0, 1), 1.0);
+}
+
+TEST(Histogram2d, Centers)
+{
+    Histogram2d h(0.0, 1.0, 2, 0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.xCenter(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.xCenter(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.yCenter(4), 9.0);
+}
+
+TEST(Histogram2dDeathTest, BadConstruction)
+{
+    EXPECT_DEATH(Histogram2d(0.0, 0.0, 2, 0.0, 1.0, 2), "increasing");
+    EXPECT_DEATH(Histogram2d(0.0, 1.0, 0, 0.0, 1.0, 2), "per axis");
+}

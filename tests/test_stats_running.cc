@@ -1,0 +1,127 @@
+/** @file Tests for streaming statistics. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/running_stats.hh"
+#include "util/random.hh"
+
+using pgss::stats::RunningStats;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.populationVariance(), 4.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesNaiveOnRandomData)
+{
+    pgss::util::Rng rng(5);
+    RunningStats s;
+    std::vector<double> xs;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextGaussian() * 3.0 + 10.0;
+        xs.push_back(x);
+        s.add(x);
+    }
+    double mean = 0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= (xs.size() - 1);
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(RunningStats, WelfordStableAtLargeOffset)
+{
+    // Naive sum-of-squares catastrophically cancels here.
+    RunningStats s;
+    const double offset = 1e9;
+    for (double x : {offset + 1, offset + 2, offset + 3})
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    pgss::util::Rng rng(9);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 7.0;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(b); // no-op
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    b.merge(a); // adopt
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningStats, CovIsRelativeDispersion)
+{
+    RunningStats s;
+    s.add(9.0);
+    s.add(11.0);
+    EXPECT_NEAR(s.cov(), std::sqrt(2.0) / 10.0, 1e-12);
+    RunningStats zero_mean;
+    zero_mean.add(-1.0);
+    zero_mean.add(1.0);
+    EXPECT_EQ(zero_mean.cov(), 0.0); // guarded division
+}
+
+TEST(RunningStats, ResetClearsEverything)
+{
+    RunningStats s;
+    s.add(4.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}

@@ -1,0 +1,93 @@
+/** @file Tests for the stratified estimator. */
+
+#include <gtest/gtest.h>
+
+#include "stats/stratified.hh"
+
+using namespace pgss::stats;
+
+namespace
+{
+
+Stratum
+makeStratum(std::initializer_list<double> xs, double weight)
+{
+    Stratum s;
+    for (double x : xs)
+        s.samples.add(x);
+    s.weight = weight;
+    return s;
+}
+
+} // namespace
+
+TEST(Stratified, WeightedMeanExact)
+{
+    StratifiedEstimator e;
+    e.addStratum(makeStratum({2.0, 2.0}, 3.0));
+    e.addStratum(makeStratum({5.0}, 1.0));
+    // (3*2 + 1*5) / 4
+    EXPECT_DOUBLE_EQ(e.mean(), 11.0 / 4.0);
+}
+
+TEST(Stratified, UnsampledStrataExcludedFromMean)
+{
+    StratifiedEstimator e;
+    e.addStratum(makeStratum({4.0}, 1.0));
+    e.addStratum(makeStratum({}, 100.0)); // never sampled
+    EXPECT_DOUBLE_EQ(e.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(e.coveredWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(e.totalWeight(), 101.0);
+}
+
+TEST(Stratified, EmptyEstimatorIsZero)
+{
+    StratifiedEstimator e;
+    EXPECT_DOUBLE_EQ(e.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(e.estimatorVariance(), 0.0);
+    EXPECT_EQ(e.strataCount(), 0u);
+}
+
+TEST(Stratified, SingleStratumReducesToSampleMean)
+{
+    StratifiedEstimator e;
+    e.addStratum(makeStratum({1.0, 2.0, 3.0}, 7.0));
+    EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+}
+
+TEST(Stratified, EstimatorVarianceHandComputed)
+{
+    StratifiedEstimator e;
+    // Stratum A: var 1.0, n=2, weight 0.5 of covered.
+    e.addStratum(makeStratum({1.0, 3.0}, 1.0)); // var = 2
+    e.addStratum(makeStratum({5.0, 5.0}, 1.0)); // var = 0
+    // (0.5^2 * 2/2) + (0.5^2 * 0) = 0.25
+    EXPECT_DOUBLE_EQ(e.estimatorVariance(), 0.25);
+}
+
+TEST(Stratified, VarianceSkipsSingleSampleStrata)
+{
+    StratifiedEstimator e;
+    e.addStratum(makeStratum({2.0}, 1.0));
+    EXPECT_DOUBLE_EQ(e.estimatorVariance(), 0.0);
+}
+
+TEST(Stratified, WeightsNeedNotBeNormalised)
+{
+    StratifiedEstimator a, b;
+    a.addStratum(makeStratum({1.0}, 0.2));
+    a.addStratum(makeStratum({9.0}, 0.8));
+    b.addStratum(makeStratum({1.0}, 20.0));
+    b.addStratum(makeStratum({9.0}, 80.0));
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Stratified, MatchesPopulationOnPerfectStrata)
+{
+    // Population: 70% of time at CPI 2.0, 30% at CPI 0.5. Perfect
+    // per-stratum samples must reconstruct the population mean CPI.
+    StratifiedEstimator e;
+    e.addStratum(makeStratum({2.0, 2.0, 2.0}, 0.7));
+    e.addStratum(makeStratum({0.5, 0.5}, 0.3));
+    EXPECT_DOUBLE_EQ(e.mean(), 0.7 * 2.0 + 0.3 * 0.5);
+}

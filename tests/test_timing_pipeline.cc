@@ -1,0 +1,335 @@
+/** @file Tests for the 4-wide in-order timing model. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/functional_core.hh"
+#include "mem/hierarchy.hh"
+#include "timing/branch_unit.hh"
+#include "timing/in_order_pipeline.hh"
+#include "util/random.hh"
+#include "workload/program_builder.hh"
+
+using namespace pgss;
+using isa::Opcode;
+
+namespace
+{
+
+/** Everything needed to time a small program. */
+struct TimedRun
+{
+    isa::Program program;
+    mem::MainMemory memory;
+    cpu::FunctionalCore core;
+    mem::CacheHierarchy hierarchy;
+    timing::BranchUnit branch_unit;
+    timing::InOrderPipeline pipeline;
+
+    explicit TimedRun(isa::Program p,
+                      const timing::PipelineConfig &pc = {},
+                      const mem::HierarchyConfig &hc = {})
+        : program(std::move(p)), memory(program.data_bytes),
+          core(program, memory), hierarchy(hc), branch_unit({}),
+          pipeline(pc, hierarchy, branch_unit)
+    {
+        if (!program.data_words.empty()) {
+            auto image = program.data_words;
+            image.resize(memory.words().size(), 0);
+            memory.setWords(std::move(image));
+        }
+    }
+
+    /** Run to halt; returns (ops, cycles). */
+    std::pair<std::uint64_t, std::uint64_t>
+    runAll()
+    {
+        cpu::DynInst rec;
+        std::uint64_t ops = 0;
+        while (core.step(rec)) {
+            pipeline.consume(rec);
+            ++ops;
+        }
+        return {ops, pipeline.cycles()};
+    }
+};
+
+/**
+ * A loop of @p iters iterations whose body is @p body_ops independent
+ * single-cycle ALU ops (I-cache resident, so steady-state behaviour
+ * dominates).
+ */
+isa::Program
+independentAluLoop(int body_ops, int iters)
+{
+    workload::ProgramBuilder b("alu-loop");
+    b.loadImm(2, iters);
+    const std::uint32_t loop = b.here();
+    for (int i = 0; i < body_ops; ++i)
+        b.emit(Opcode::Addi, static_cast<std::uint8_t>(3 + i % 8), 0,
+               0, i);
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(br, loop);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+/** A loop whose body is a single chained op through r3. */
+isa::Program
+serialChainLoop(Opcode op, int iters)
+{
+    workload::ProgramBuilder b("chain-loop");
+    b.loadImm(1, 0x3ff0000000000000ull); // 1.0 (for FP ops)
+    b.loadImm(3, 0x3ff8000000000000ull); // 1.5
+    b.loadImm(2, iters);
+    const std::uint32_t loop = b.here();
+    b.emit(op, 3, 3, 1, 0);
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(br, loop);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+/**
+ * Strided loads (used & summed) over @p footprint bytes, repeated for
+ * @p passes traversals so warm passes dominate when it fits a cache.
+ */
+isa::Program
+stridedLoadLoop(std::uint64_t footprint, int passes)
+{
+    workload::ProgramBuilder b("loads");
+    const std::uint64_t base = b.allocData(footprint);
+    b.loadImm(5, passes);
+    const std::uint32_t pass_top = b.here();
+    b.loadImm(1, base);
+    b.loadImm(2, footprint / 64);
+    const std::uint32_t loop = b.here();
+    b.emit(Opcode::Ld, 3, 1, 0, 0);
+    b.emit(Opcode::Add, 4, 4, 3, 0);
+    b.emit(Opcode::Addi, 1, 1, 0, 64);
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(br, loop);
+    b.emit(Opcode::Addi, 5, 5, 0, -1);
+    const std::uint32_t outer = b.emitBranch(Opcode::Bne, 5, 0);
+    b.patchTarget(outer, pass_top);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+/** Strided stores over @p footprint bytes, @p passes traversals. */
+isa::Program
+stridedStoreLoop(std::uint64_t footprint, int passes)
+{
+    workload::ProgramBuilder b("stores");
+    const std::uint64_t base = b.allocData(footprint);
+    b.loadImm(5, passes);
+    const std::uint32_t pass_top = b.here();
+    b.loadImm(1, base);
+    b.loadImm(2, footprint / 64);
+    const std::uint32_t loop = b.here();
+    b.emit(Opcode::St, 0, 1, 3, 0);
+    b.emit(Opcode::Addi, 1, 1, 0, 64);
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(br, loop);
+    b.emit(Opcode::Addi, 5, 5, 0, -1);
+    const std::uint32_t outer = b.emitBranch(Opcode::Bne, 5, 0);
+    b.patchTarget(outer, pass_top);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+/**
+ * Data-dependent branches over an array of 0/1 words, @p passes
+ * traversals; all-ones data makes the branch perfectly predictable.
+ */
+isa::Program
+branchLoop(bool random_bits, int passes)
+{
+    workload::ProgramBuilder b("brl");
+    const int n = 4096;
+    const std::uint64_t base = b.allocData(n * 8);
+    util::Rng rng(7);
+    for (int i = 0; i < n; ++i)
+        b.initWord(base + i * 8, random_bits ? (rng.next() & 1) : 1);
+    b.loadImm(5, passes);
+    const std::uint32_t pass_top = b.here();
+    b.loadImm(1, base);
+    b.loadImm(2, n);
+    const std::uint32_t loop = b.here();
+    b.emit(Opcode::Ld, 3, 1, 0, 0);
+    const std::uint32_t br = b.emitBranch(Opcode::Beq, 3, 0);
+    b.emit(Opcode::Addi, 4, 4, 0, 1);
+    b.patchTarget(br, b.here());
+    b.emit(Opcode::Addi, 1, 1, 0, 8);
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t back = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(back, loop);
+    b.emit(Opcode::Addi, 5, 5, 0, -1);
+    const std::uint32_t outer = b.emitBranch(Opcode::Bne, 5, 0);
+    b.patchTarget(outer, pass_top);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+} // namespace
+
+TEST(Pipeline, IndependentOpsApproachIssueWidth)
+{
+    TimedRun run(independentAluLoop(30, 2000));
+    const auto [ops, cycles] = run.runAll();
+    const double ipc = static_cast<double>(ops) / cycles;
+    // 32-op loop: 8 issue cycles + 1 taken-branch bubble => ~3.5.
+    EXPECT_GT(ipc, 3.0);
+    EXPECT_LE(ipc, 4.0);
+}
+
+TEST(Pipeline, IpcNeverExceedsWidth)
+{
+    timing::PipelineConfig pc;
+    pc.width = 2;
+    TimedRun run(independentAluLoop(16, 2000), pc);
+    const auto [ops, cycles] = run.runAll();
+    EXPECT_LE(static_cast<double>(ops) / cycles, 2.0);
+}
+
+TEST(Pipeline, SerialFdivChainLimitedByUnitLatency)
+{
+    timing::PipelineConfig pc;
+    TimedRun run(serialChainLoop(Opcode::Fdiv, 500), pc);
+    const auto [ops, cycles] = run.runAll();
+    (void)ops;
+    // The unpipelined divider serialises the loop at ~latency/iter.
+    const double cycles_per_div = static_cast<double>(cycles) / 500.0;
+    EXPECT_NEAR(cycles_per_div, pc.fp_div_latency, 2.0);
+}
+
+TEST(Pipeline, SerialMulChainLimitedByMulLatency)
+{
+    timing::PipelineConfig pc;
+    TimedRun run(serialChainLoop(Opcode::Mul, 1000), pc);
+    const auto [ops, cycles] = run.runAll();
+    (void)ops;
+    EXPECT_NEAR(static_cast<double>(cycles) / 1000.0,
+                pc.int_mul_latency, 1.5);
+}
+
+TEST(Pipeline, DependencyChainSlowerThanIndependent)
+{
+    TimedRun dep(serialChainLoop(Opcode::Mul, 1000));
+    const auto [ops_d, cyc_d] = dep.runAll();
+    TimedRun ind(independentAluLoop(30, 100));
+    const auto [ops_i, cyc_i] = ind.runAll();
+    EXPECT_LT(static_cast<double>(ops_d) / cyc_d,
+              0.5 * static_cast<double>(ops_i) / cyc_i);
+}
+
+TEST(Pipeline, CacheMissingLoadsStall)
+{
+    TimedRun hot(stridedLoadLoop(16 * 1024, 8)); // L1-resident
+    const auto [ops_hot, cyc_hot] = hot.runAll();
+    TimedRun cold(stridedLoadLoop(8 * 1024 * 1024, 1)); // thrashes
+    const auto [ops_cold, cyc_cold] = cold.runAll();
+
+    const double ipc_hot = static_cast<double>(ops_hot) / cyc_hot;
+    const double ipc_cold = static_cast<double>(ops_cold) / cyc_cold;
+    EXPECT_LT(ipc_cold, ipc_hot / 3.0);
+}
+
+TEST(Pipeline, MispredictsCostCycles)
+{
+    // Two passes: the second traversal has warm caches in both
+    // programs, isolating the branch-behaviour difference.
+    TimedRun predictable(branchLoop(false, 4));
+    const auto [ops_p, cyc_p] = predictable.runAll();
+    TimedRun random(branchLoop(true, 4));
+    const auto [ops_r, cyc_r] = random.runAll();
+
+    EXPECT_GT(random.pipeline.stats().mispredicts,
+              predictable.pipeline.stats().mispredicts * 5 + 100);
+    const double cpi_p = static_cast<double>(cyc_p) / ops_p;
+    const double cpi_r = static_cast<double>(cyc_r) / ops_r;
+    EXPECT_GT(cpi_r, cpi_p * 1.3);
+}
+
+TEST(Pipeline, StoreBufferBackpressureOnMissingStores)
+{
+    TimedRun thrash(stridedStoreLoop(8 * 1024 * 1024, 1));
+    thrash.runAll();
+    EXPECT_GT(thrash.pipeline.stats().store_buffer_stalls, 1000u);
+
+    // L1-resident stores drain instantly after the warm first pass.
+    TimedRun hot(stridedStoreLoop(16 * 1024, 8));
+    hot.runAll();
+    EXPECT_LT(hot.pipeline.stats().store_buffer_stalls, 300u);
+}
+
+TEST(Pipeline, DeterministicCycleCounts)
+{
+    TimedRun a(independentAluLoop(10, 500));
+    TimedRun b(independentAluLoop(10, 500));
+    EXPECT_EQ(a.runAll(), b.runAll());
+}
+
+TEST(Pipeline, ResyncClearsTransientState)
+{
+    TimedRun run(serialChainLoop(Opcode::Fdiv, 10));
+    cpu::DynInst rec;
+    for (int i = 0; i < 6; ++i) {
+        run.core.step(rec);
+        run.pipeline.consume(rec);
+    }
+    const std::uint64_t before = run.pipeline.cycles();
+    run.pipeline.resync();
+    // After resync the next instruction issues promptly instead of
+    // waiting for the in-flight divide.
+    run.core.step(rec);
+    run.pipeline.consume(rec);
+    EXPECT_LE(run.pipeline.cycles() - before, 3u);
+}
+
+TEST(Pipeline, CyclesMonotonic)
+{
+    TimedRun run(independentAluLoop(5, 50));
+    cpu::DynInst rec;
+    std::uint64_t last = 0;
+    while (run.core.step(rec)) {
+        run.pipeline.consume(rec);
+        EXPECT_GE(run.pipeline.cycles(), last);
+        last = run.pipeline.cycles();
+    }
+}
+
+TEST(Pipeline, InstructionCountTracked)
+{
+    TimedRun run(independentAluLoop(5, 10));
+    const auto [ops, cycles] = run.runAll();
+    EXPECT_EQ(ops, 1ull + 7 * 10 + 1); // loadImm + body + halt
+    EXPECT_EQ(run.pipeline.stats().instructions, ops);
+    EXPECT_GT(cycles, 0u);
+}
+
+TEST(Pipeline, IcacheLineFetchesCounted)
+{
+    // Every taken branch restarts the fetch group, so there is at
+    // least one I-cache line access per loop iteration.
+    TimedRun run(independentAluLoop(5, 100));
+    run.runAll();
+    EXPECT_GE(run.pipeline.stats().icache_line_fetches, 100u);
+}
+
+TEST(Pipeline, MispredictPenaltyScalesCost)
+{
+    timing::PipelineConfig cheap;
+    cheap.mispredict_penalty = 2;
+    timing::PipelineConfig costly;
+    costly.mispredict_penalty = 30;
+    TimedRun a(branchLoop(true, 2), cheap);
+    const auto [ops_a, cyc_a] = a.runAll();
+    TimedRun b(branchLoop(true, 2), costly);
+    const auto [ops_b, cyc_b] = b.runAll();
+    ASSERT_EQ(ops_a, ops_b);
+    EXPECT_GT(cyc_b, cyc_a);
+}

@@ -1,0 +1,54 @@
+/** @file Tests for logging levels and the panic/fatal machinery. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+using namespace pgss::util;
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(before);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, PanicIfTriggersOnTrue)
+{
+    EXPECT_DEATH(panicIf(true, "invariant broken"),
+                 "invariant broken");
+}
+
+TEST(Logging, PanicIfIgnoresFalse)
+{
+    panicIf(false, "must not fire");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(Logging, InformAndWarnDoNotCrashAtAnyLevel)
+{
+    const LogLevel before = logLevel();
+    for (LogLevel l :
+         {LogLevel::Quiet, LogLevel::Normal, LogLevel::Verbose}) {
+        setLogLevel(l);
+        inform("info %s", "message");
+        warn("warn %s", "message");
+        verbose("verbose %s", "message");
+    }
+    setLogLevel(before);
+    SUCCEED();
+}

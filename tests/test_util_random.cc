@@ -1,0 +1,181 @@
+/** @file Tests for the deterministic RNG. */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+using pgss::util::Rng;
+
+TEST(Random, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Random, BoundedCoversAllValues)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = r.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, DoubleMeanNearHalf)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Rng r(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Random, BoolProbability)
+{
+    Rng r(19);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        heads += r.nextBool(0.3);
+    EXPECT_NEAR(heads / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Random, ShuffleIsPermutation)
+{
+    Rng r(23);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto sorted = v;
+    r.shuffle(v);
+    std::vector<int> resorted = v;
+    std::sort(resorted.begin(), resorted.end());
+    EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Random, SampleDistinctUniqueAndInRange)
+{
+    Rng r(29);
+    const auto picks = r.sampleDistinct(5, 12);
+    ASSERT_EQ(picks.size(), 5u);
+    std::set<std::uint32_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (std::uint32_t p : picks)
+        EXPECT_LT(p, 12u);
+}
+
+TEST(Random, SampleDistinctFullRange)
+{
+    Rng r(31);
+    const auto picks = r.sampleDistinct(6, 6);
+    std::set<std::uint32_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(Random, StateRoundTrip)
+{
+    Rng r(37);
+    for (int i = 0; i < 10; ++i)
+        r.next();
+    const auto st = r.state();
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 20; ++i)
+        expected.push_back(r.next());
+    r.setState(st);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(r.next(), expected[i]);
+}
+
+TEST(Random, StateRoundTripPreservesGaussianCache)
+{
+    Rng r(41);
+    r.nextGaussian(); // leaves one cached value
+    const auto st = r.state();
+    const double expected = r.nextGaussian();
+    r.setState(st);
+    EXPECT_DOUBLE_EQ(r.nextGaussian(), expected);
+}
+
+class RandomSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomSeedSweep, UniformBitsPerSeed)
+{
+    Rng r(GetParam());
+    // Each of the 64 bit positions should be set roughly half the
+    // time over many draws.
+    const int n = 4096;
+    int counts[64] = {};
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t v = r.next();
+        for (int b = 0; b < 64; ++b)
+            counts[b] += (v >> b) & 1;
+    }
+    for (int b = 0; b < 64; ++b) {
+        EXPECT_GT(counts[b], n / 2 - 300) << "bit " << b;
+        EXPECT_LT(counts[b], n / 2 + 300) << "bit " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeedSweep,
+                         ::testing::Values(1, 2, 3, 0xdeadbeef,
+                                           0xffffffffffffffffull));

@@ -1,0 +1,107 @@
+/** @file Tests for workload input-set variants. */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "workload/suite.hh"
+
+using namespace pgss;
+using namespace pgss::workload;
+
+TEST(Inputs, InputZeroIsTheBaseSpec)
+{
+    const WorkloadSpec a = workloadSpec("164.gzip");
+    const WorkloadSpec b = workloadSpec("164.gzip", 0);
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.instances.size(), b.instances.size());
+    for (std::size_t i = 0; i < a.instances.size(); ++i) {
+        EXPECT_EQ(a.instances[i].second.seed,
+                  b.instances[i].second.seed);
+        EXPECT_EQ(a.instances[i].second.footprint_bytes,
+                  b.instances[i].second.footprint_bytes);
+    }
+}
+
+TEST(Inputs, VariantsAreNamed)
+{
+    EXPECT_EQ(workloadSpec("164.gzip", 1).name, "164.gzip.in1");
+    EXPECT_EQ(workloadSpec("164.gzip", 2).name, "164.gzip.in2");
+}
+
+TEST(Inputs, SameCodeStructureDifferentData)
+{
+    const WorkloadSpec base = workloadSpec("183.equake", 0);
+    const WorkloadSpec variant = workloadSpec("183.equake", 1);
+    // Same kernels and schedule shape...
+    ASSERT_EQ(base.instances.size(), variant.instances.size());
+    ASSERT_EQ(base.blocks.size(), variant.blocks.size());
+    for (std::size_t i = 0; i < base.instances.size(); ++i) {
+        EXPECT_EQ(base.instances[i].first, variant.instances[i].first);
+        EXPECT_EQ(static_cast<int>(base.instances[i].second.kind),
+                  static_cast<int>(variant.instances[i].second.kind));
+        // ...but different seeds.
+        EXPECT_NE(base.instances[i].second.seed,
+                  variant.instances[i].second.seed);
+    }
+}
+
+TEST(Inputs, FootprintsScale)
+{
+    const WorkloadSpec base = workloadSpec("181.mcf", 0);
+    const WorkloadSpec bigger = workloadSpec("181.mcf", 1);
+    const WorkloadSpec smaller = workloadSpec("181.mcf", 2);
+    EXPECT_GT(bigger.instances[0].second.footprint_bytes,
+              base.instances[0].second.footprint_bytes);
+    EXPECT_LT(smaller.instances[0].second.footprint_bytes,
+              base.instances[0].second.footprint_bytes);
+}
+
+class InputSweep
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(InputSweep, AllVariantsBuildAndHalt)
+{
+    for (const std::string &name :
+         {std::string("164.gzip"), std::string("179.art")}) {
+        const BuiltWorkload built =
+            buildWorkload(name, 0.01, GetParam());
+        sim::SimulationEngine engine(built.program);
+        engine.runToCompletion(sim::SimMode::FunctionalFast);
+        EXPECT_TRUE(engine.halted()) << name;
+    }
+}
+
+TEST_P(InputSweep, DeterministicPerInput)
+{
+    const BuiltWorkload a = buildWorkload("300.twolf", 0.01,
+                                          GetParam());
+    const BuiltWorkload b = buildWorkload("300.twolf", 0.01,
+                                          GetParam());
+    EXPECT_EQ(a.program.data_words, b.program.data_words);
+    EXPECT_EQ(a.program.code.size(), b.program.code.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, InputSweep,
+                         ::testing::Values(0u, 1u, 2u));
+
+TEST(Inputs, VariantsProduceDifferentExecutions)
+{
+    const BuiltWorkload a = buildWorkload("164.gzip", 0.01, 0);
+    const BuiltWorkload b = buildWorkload("164.gzip", 0.01, 1);
+    // Different data images and (generally) different lengths.
+    EXPECT_NE(a.program.data_words, b.program.data_words);
+    sim::SimulationEngine ea(a.program);
+    sim::SimulationEngine eb(b.program);
+    const std::uint64_t na =
+        ea.runToCompletion(sim::SimMode::FunctionalFast).ops;
+    const std::uint64_t nb =
+        eb.runToCompletion(sim::SimMode::FunctionalFast).ops;
+    EXPECT_NE(na, nb);
+}
+
+TEST(InputsDeathTest, UnknownInputPanics)
+{
+    EXPECT_DEATH(workloadSpec("164.gzip", 7), "unknown workload input");
+}

@@ -1,0 +1,145 @@
+/** @file Tests for the synthetic SPEC2000-analogue suite. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/functional_core.hh"
+#include "sim/engine.hh"
+#include "workload/suite.hh"
+
+using namespace pgss;
+using namespace pgss::workload;
+
+namespace
+{
+constexpr double tiny = 0.01; ///< test-speed scale factor
+}
+
+TEST(Suite, TenEvaluationWorkloads)
+{
+    EXPECT_EQ(suiteNames().size(), 10u);
+    EXPECT_EQ(suiteNames().front(), "164.gzip");
+    EXPECT_EQ(suiteNames().back(), "300.twolf");
+}
+
+class SuiteSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteSweep, BuildsAndHalts)
+{
+    const BuiltWorkload built = buildWorkload(GetParam(), tiny);
+    EXPECT_FALSE(built.program.code.empty());
+    EXPECT_GT(built.estimated_ops, 0.0);
+
+    sim::SimulationEngine engine(built.program);
+    const sim::RunResult r =
+        engine.runToCompletion(sim::SimMode::FunctionalFast);
+    EXPECT_TRUE(engine.halted());
+    EXPECT_GT(r.ops, 0u);
+}
+
+TEST_P(SuiteSweep, EstimateMatchesActualLength)
+{
+    const BuiltWorkload built = buildWorkload(GetParam(), tiny);
+    sim::SimulationEngine engine(built.program);
+    const sim::RunResult r =
+        engine.runToCompletion(sim::SimMode::FunctionalFast);
+    // Branchy expectations make the estimate slightly approximate.
+    EXPECT_NEAR(static_cast<double>(r.ops), built.estimated_ops,
+                0.03 * built.estimated_ops)
+        << GetParam();
+}
+
+TEST_P(SuiteSweep, DeterministicBuild)
+{
+    const BuiltWorkload a = buildWorkload(GetParam(), tiny);
+    const BuiltWorkload b = buildWorkload(GetParam(), tiny);
+    ASSERT_EQ(a.program.code.size(), b.program.code.size());
+    for (std::size_t i = 0; i < a.program.code.size(); ++i)
+        EXPECT_EQ(a.program.code[i].imm, b.program.code[i].imm);
+    EXPECT_EQ(a.program.data_words, b.program.data_words);
+}
+
+TEST_P(SuiteSweep, ScaleGrowsDynamicLength)
+{
+    // Tiny scales are clamped by the one-call-per-step floor, so the
+    // growth property is checked between quarter and full scale
+    // (building is cheap; nothing is executed here).
+    const BuiltWorkload small = buildWorkload(GetParam(), 0.25);
+    const BuiltWorkload bigger = buildWorkload(GetParam(), 1.0);
+    EXPECT_GT(bigger.estimated_ops, 1.5 * small.estimated_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SuiteSweep,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names = suiteNames();
+        names.push_back("168.wupwise");
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Suite, ShortNamesResolve)
+{
+    EXPECT_EQ(workloadSpec("gzip").name, "164.gzip");
+    EXPECT_EQ(workloadSpec("wupwise").name, "168.wupwise");
+}
+
+TEST(SuiteDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloadSpec("999.nonesuch"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Suite, WorkloadsHaveDistinctIpc)
+{
+    // mcf (pointer chasing over 16MB) must be far slower than mesa
+    // (register-resident FP compute) — the IPC spread the suite needs
+    // to reproduce the paper's per-benchmark differences.
+    auto ipc_of = [](const std::string &name) {
+        const BuiltWorkload built = buildWorkload(name, tiny);
+        sim::SimulationEngine engine(built.program);
+        const sim::RunResult r =
+            engine.runToCompletion(sim::SimMode::DetailedMeasure);
+        return static_cast<double>(r.ops) / r.cycles;
+    };
+    const double mesa = ipc_of("177.mesa");
+    const double mcf = ipc_of("181.mcf");
+    EXPECT_LT(mcf, 0.3);
+    EXPECT_GT(mesa, 3.0 * mcf);
+}
+
+TEST(Suite, PhasesCarryDistinctCode)
+{
+    // Each kernel instance owns its own basic blocks: with at least
+    // two instances there are at least two loop-back branch PCs.
+    const WorkloadSpec spec = workloadSpec("183.equake");
+    EXPECT_GE(spec.instances.size(), 2u);
+    const BuiltWorkload built = buildProgram(spec, tiny);
+    EXPECT_GE(built.program.bb_starts.size(),
+              2 * spec.instances.size());
+}
+
+TEST(Suite, ArtHasFineGrainedOscillation)
+{
+    // The art analogue's first block alternates two kernels every
+    // ~24k ops (the paper's 40-50k-op micro-phases).
+    const WorkloadSpec spec = workloadSpec("179.art");
+    ASSERT_FALSE(spec.blocks.empty());
+    const BlockSpec &osc = spec.blocks.front();
+    ASSERT_EQ(osc.steps.size(), 2u);
+    EXPECT_LT(osc.steps[0].ops, 50'000.0);
+    EXPECT_LT(osc.steps[1].ops, 50'000.0);
+    EXPECT_GT(osc.repeats, 100u);
+}
+
+TEST(SuiteDeathTest, NonPositiveScalePanics)
+{
+    EXPECT_DEATH(buildWorkload("164.gzip", 0.0), "positive");
+}
