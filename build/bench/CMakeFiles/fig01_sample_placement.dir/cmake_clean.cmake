@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sample_placement.dir/fig01_sample_placement.cc.o"
+  "CMakeFiles/fig01_sample_placement.dir/fig01_sample_placement.cc.o.d"
+  "fig01_sample_placement"
+  "fig01_sample_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sample_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_granularity.dir/fig02_granularity.cc.o"
+  "CMakeFiles/fig02_granularity.dir/fig02_granularity.cc.o.d"
+  "fig02_granularity"
+  "fig02_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ipc_distribution.dir/fig03_ipc_distribution.cc.o"
+  "CMakeFiles/fig03_ipc_distribution.dir/fig03_ipc_distribution.cc.o.d"
+  "fig03_ipc_distribution"
+  "fig03_ipc_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ipc_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

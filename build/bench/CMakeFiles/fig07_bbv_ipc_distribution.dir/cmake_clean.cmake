@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bbv_ipc_distribution.dir/fig07_bbv_ipc_distribution.cc.o"
+  "CMakeFiles/fig07_bbv_ipc_distribution.dir/fig07_bbv_ipc_distribution.cc.o.d"
+  "fig07_bbv_ipc_distribution"
+  "fig07_bbv_ipc_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bbv_ipc_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

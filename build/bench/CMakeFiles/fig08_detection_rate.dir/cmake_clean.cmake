@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_detection_rate.dir/fig08_detection_rate.cc.o"
+  "CMakeFiles/fig08_detection_rate.dir/fig08_detection_rate.cc.o.d"
+  "fig08_detection_rate"
+  "fig08_detection_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_detection_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_false_positives.dir/fig09_false_positives.cc.o"
+  "CMakeFiles/fig09_false_positives.dir/fig09_false_positives.cc.o.d"
+  "fig09_false_positives"
+  "fig09_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

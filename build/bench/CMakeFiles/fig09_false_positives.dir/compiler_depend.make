@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_false_positives.
+# This may be replaced when dependencies are built.

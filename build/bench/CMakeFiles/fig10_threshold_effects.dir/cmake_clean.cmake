@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_threshold_effects.dir/fig10_threshold_effects.cc.o"
+  "CMakeFiles/fig10_threshold_effects.dir/fig10_threshold_effects.cc.o.d"
+  "fig10_threshold_effects"
+  "fig10_threshold_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_threshold_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

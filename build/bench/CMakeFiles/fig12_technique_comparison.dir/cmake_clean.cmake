@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_technique_comparison.dir/fig12_technique_comparison.cc.o"
+  "CMakeFiles/fig12_technique_comparison.dir/fig12_technique_comparison.cc.o.d"
+  "fig12_technique_comparison"
+  "fig12_technique_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_technique_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_simulation_time.dir/fig13_simulation_time.cc.o"
+  "CMakeFiles/fig13_simulation_time.dir/fig13_simulation_time.cc.o.d"
+  "fig13_simulation_time"
+  "fig13_simulation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_simulation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/support.cc" "bench/CMakeFiles/pgss_bench_support.dir/support.cc.o" "gcc" "bench/CMakeFiles/pgss_bench_support.dir/support.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sampling/CMakeFiles/pgss_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pgss_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pgss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pgss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/pgss_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pgss_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pgss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pgss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/pgss_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pgss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbv/CMakeFiles/pgss_bbv.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pgss_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_bench_support.dir/support.cc.o"
+  "CMakeFiles/pgss_bench_support.dir/support.cc.o.d"
+  "libpgss_bench_support.a"
+  "libpgss_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

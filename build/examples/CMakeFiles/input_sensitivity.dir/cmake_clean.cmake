@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_sensitivity.dir/input_sensitivity.cc.o"
+  "CMakeFiles/input_sensitivity.dir/input_sensitivity.cc.o.d"
+  "input_sensitivity"
+  "input_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

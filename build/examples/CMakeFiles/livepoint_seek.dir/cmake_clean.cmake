@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livepoint_seek.dir/livepoint_seek.cc.o"
+  "CMakeFiles/livepoint_seek.dir/livepoint_seek.cc.o.d"
+  "livepoint_seek"
+  "livepoint_seek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livepoint_seek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

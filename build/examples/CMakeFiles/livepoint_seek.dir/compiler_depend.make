@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for livepoint_seek.
+# This may be replaced when dependencies are built.

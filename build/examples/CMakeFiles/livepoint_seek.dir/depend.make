@@ -1,0 +1,2 @@
+# Empty dependencies file for livepoint_seek.
+# This may be replaced when dependencies are built.

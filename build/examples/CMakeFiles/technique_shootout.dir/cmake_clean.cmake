@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technique_shootout.dir/technique_shootout.cc.o"
+  "CMakeFiles/technique_shootout.dir/technique_shootout.cc.o.d"
+  "technique_shootout"
+  "technique_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technique_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

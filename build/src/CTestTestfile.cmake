@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("isa")
+subdirs("mem")
+subdirs("branch")
+subdirs("cpu")
+subdirs("timing")
+subdirs("workload")
+subdirs("sim")
+subdirs("bbv")
+subdirs("stats")
+subdirs("cluster")
+subdirs("core")
+subdirs("analysis")
+subdirs("sampling")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_analysis.dir/interval_profile.cc.o"
+  "CMakeFiles/pgss_analysis.dir/interval_profile.cc.o.d"
+  "CMakeFiles/pgss_analysis.dir/phase_sequence.cc.o"
+  "CMakeFiles/pgss_analysis.dir/phase_sequence.cc.o.d"
+  "CMakeFiles/pgss_analysis.dir/profile_cache.cc.o"
+  "CMakeFiles/pgss_analysis.dir/profile_cache.cc.o.d"
+  "CMakeFiles/pgss_analysis.dir/threshold_analysis.cc.o"
+  "CMakeFiles/pgss_analysis.dir/threshold_analysis.cc.o.d"
+  "libpgss_analysis.a"
+  "libpgss_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

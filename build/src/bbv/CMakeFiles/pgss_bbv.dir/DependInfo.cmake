@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bbv/bbv_math.cc" "src/bbv/CMakeFiles/pgss_bbv.dir/bbv_math.cc.o" "gcc" "src/bbv/CMakeFiles/pgss_bbv.dir/bbv_math.cc.o.d"
+  "/root/repo/src/bbv/full_bbv.cc" "src/bbv/CMakeFiles/pgss_bbv.dir/full_bbv.cc.o" "gcc" "src/bbv/CMakeFiles/pgss_bbv.dir/full_bbv.cc.o.d"
+  "/root/repo/src/bbv/hashed_bbv.cc" "src/bbv/CMakeFiles/pgss_bbv.dir/hashed_bbv.cc.o" "gcc" "src/bbv/CMakeFiles/pgss_bbv.dir/hashed_bbv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pgss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_bbv.dir/bbv_math.cc.o"
+  "CMakeFiles/pgss_bbv.dir/bbv_math.cc.o.d"
+  "CMakeFiles/pgss_bbv.dir/full_bbv.cc.o"
+  "CMakeFiles/pgss_bbv.dir/full_bbv.cc.o.d"
+  "CMakeFiles/pgss_bbv.dir/hashed_bbv.cc.o"
+  "CMakeFiles/pgss_bbv.dir/hashed_bbv.cc.o.d"
+  "libpgss_bbv.a"
+  "libpgss_bbv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_bbv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

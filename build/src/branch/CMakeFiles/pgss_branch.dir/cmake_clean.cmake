@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_branch.dir/btb.cc.o"
+  "CMakeFiles/pgss_branch.dir/btb.cc.o.d"
+  "CMakeFiles/pgss_branch.dir/predictor.cc.o"
+  "CMakeFiles/pgss_branch.dir/predictor.cc.o.d"
+  "libpgss_branch.a"
+  "libpgss_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

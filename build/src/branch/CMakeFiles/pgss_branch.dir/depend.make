@@ -1,0 +1,2 @@
+# Empty dependencies file for pgss_branch.
+# This may be replaced when dependencies are built.

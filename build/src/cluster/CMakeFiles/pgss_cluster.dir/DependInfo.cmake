@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/pgss_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/pgss_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/random_projection.cc" "src/cluster/CMakeFiles/pgss_cluster.dir/random_projection.cc.o" "gcc" "src/cluster/CMakeFiles/pgss_cluster.dir/random_projection.cc.o.d"
+  "/root/repo/src/cluster/simpoint.cc" "src/cluster/CMakeFiles/pgss_cluster.dir/simpoint.cc.o" "gcc" "src/cluster/CMakeFiles/pgss_cluster.dir/simpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bbv/CMakeFiles/pgss_bbv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/pgss_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/pgss_cluster.dir/random_projection.cc.o"
+  "CMakeFiles/pgss_cluster.dir/random_projection.cc.o.d"
+  "CMakeFiles/pgss_cluster.dir/simpoint.cc.o"
+  "CMakeFiles/pgss_cluster.dir/simpoint.cc.o.d"
+  "libpgss_cluster.a"
+  "libpgss_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

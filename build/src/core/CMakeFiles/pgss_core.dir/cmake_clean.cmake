@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_core.dir/adaptive_threshold.cc.o"
+  "CMakeFiles/pgss_core.dir/adaptive_threshold.cc.o.d"
+  "CMakeFiles/pgss_core.dir/pgss_controller.cc.o"
+  "CMakeFiles/pgss_core.dir/pgss_controller.cc.o.d"
+  "CMakeFiles/pgss_core.dir/phase.cc.o"
+  "CMakeFiles/pgss_core.dir/phase.cc.o.d"
+  "CMakeFiles/pgss_core.dir/phase_table.cc.o"
+  "CMakeFiles/pgss_core.dir/phase_table.cc.o.d"
+  "libpgss_core.a"
+  "libpgss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

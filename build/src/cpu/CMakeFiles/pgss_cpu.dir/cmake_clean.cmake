@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_cpu.dir/functional_core.cc.o"
+  "CMakeFiles/pgss_cpu.dir/functional_core.cc.o.d"
+  "libpgss_cpu.a"
+  "libpgss_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_isa.dir/instruction.cc.o"
+  "CMakeFiles/pgss_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/pgss_isa.dir/opcodes.cc.o"
+  "CMakeFiles/pgss_isa.dir/opcodes.cc.o.d"
+  "libpgss_isa.a"
+  "libpgss_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

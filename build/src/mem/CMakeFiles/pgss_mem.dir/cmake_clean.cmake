@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_mem.dir/cache.cc.o"
+  "CMakeFiles/pgss_mem.dir/cache.cc.o.d"
+  "CMakeFiles/pgss_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/pgss_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/pgss_mem.dir/main_memory.cc.o"
+  "CMakeFiles/pgss_mem.dir/main_memory.cc.o.d"
+  "libpgss_mem.a"
+  "libpgss_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_sampling.dir/checkpointed.cc.o"
+  "CMakeFiles/pgss_sampling.dir/checkpointed.cc.o.d"
+  "CMakeFiles/pgss_sampling.dir/online_simpoint.cc.o"
+  "CMakeFiles/pgss_sampling.dir/online_simpoint.cc.o.d"
+  "CMakeFiles/pgss_sampling.dir/simpoint_sampler.cc.o"
+  "CMakeFiles/pgss_sampling.dir/simpoint_sampler.cc.o.d"
+  "CMakeFiles/pgss_sampling.dir/smarts.cc.o"
+  "CMakeFiles/pgss_sampling.dir/smarts.cc.o.d"
+  "CMakeFiles/pgss_sampling.dir/turbosmarts.cc.o"
+  "CMakeFiles/pgss_sampling.dir/turbosmarts.cc.o.d"
+  "libpgss_sampling.a"
+  "libpgss_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_sim.dir/checkpoint.cc.o"
+  "CMakeFiles/pgss_sim.dir/checkpoint.cc.o.d"
+  "CMakeFiles/pgss_sim.dir/checkpoint_library.cc.o"
+  "CMakeFiles/pgss_sim.dir/checkpoint_library.cc.o.d"
+  "CMakeFiles/pgss_sim.dir/engine.cc.o"
+  "CMakeFiles/pgss_sim.dir/engine.cc.o.d"
+  "libpgss_sim.a"
+  "libpgss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

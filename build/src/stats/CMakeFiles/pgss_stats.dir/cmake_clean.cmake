@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_stats.dir/confidence.cc.o"
+  "CMakeFiles/pgss_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/pgss_stats.dir/histogram.cc.o"
+  "CMakeFiles/pgss_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/pgss_stats.dir/running_stats.cc.o"
+  "CMakeFiles/pgss_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/pgss_stats.dir/stratified.cc.o"
+  "CMakeFiles/pgss_stats.dir/stratified.cc.o.d"
+  "libpgss_stats.a"
+  "libpgss_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

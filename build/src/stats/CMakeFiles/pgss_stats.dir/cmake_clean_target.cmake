@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgss_stats.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/branch_unit.cc" "src/timing/CMakeFiles/pgss_timing.dir/branch_unit.cc.o" "gcc" "src/timing/CMakeFiles/pgss_timing.dir/branch_unit.cc.o.d"
+  "/root/repo/src/timing/in_order_pipeline.cc" "src/timing/CMakeFiles/pgss_timing.dir/in_order_pipeline.cc.o" "gcc" "src/timing/CMakeFiles/pgss_timing.dir/in_order_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/pgss_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/pgss_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pgss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pgss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_timing.dir/branch_unit.cc.o"
+  "CMakeFiles/pgss_timing.dir/branch_unit.cc.o.d"
+  "CMakeFiles/pgss_timing.dir/in_order_pipeline.cc.o"
+  "CMakeFiles/pgss_timing.dir/in_order_pipeline.cc.o.d"
+  "libpgss_timing.a"
+  "libpgss_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_util.dir/csv.cc.o"
+  "CMakeFiles/pgss_util.dir/csv.cc.o.d"
+  "CMakeFiles/pgss_util.dir/env.cc.o"
+  "CMakeFiles/pgss_util.dir/env.cc.o.d"
+  "CMakeFiles/pgss_util.dir/logging.cc.o"
+  "CMakeFiles/pgss_util.dir/logging.cc.o.d"
+  "CMakeFiles/pgss_util.dir/random.cc.o"
+  "CMakeFiles/pgss_util.dir/random.cc.o.d"
+  "CMakeFiles/pgss_util.dir/serialize.cc.o"
+  "CMakeFiles/pgss_util.dir/serialize.cc.o.d"
+  "CMakeFiles/pgss_util.dir/table.cc.o"
+  "CMakeFiles/pgss_util.dir/table.cc.o.d"
+  "libpgss_util.a"
+  "libpgss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

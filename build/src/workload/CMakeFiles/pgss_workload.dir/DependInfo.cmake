@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernels.cc" "src/workload/CMakeFiles/pgss_workload.dir/kernels.cc.o" "gcc" "src/workload/CMakeFiles/pgss_workload.dir/kernels.cc.o.d"
+  "/root/repo/src/workload/program_builder.cc" "src/workload/CMakeFiles/pgss_workload.dir/program_builder.cc.o" "gcc" "src/workload/CMakeFiles/pgss_workload.dir/program_builder.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/workload/CMakeFiles/pgss_workload.dir/suite.cc.o" "gcc" "src/workload/CMakeFiles/pgss_workload.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pgss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

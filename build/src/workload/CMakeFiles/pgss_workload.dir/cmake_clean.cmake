@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgss_workload.dir/kernels.cc.o"
+  "CMakeFiles/pgss_workload.dir/kernels.cc.o.d"
+  "CMakeFiles/pgss_workload.dir/program_builder.cc.o"
+  "CMakeFiles/pgss_workload.dir/program_builder.cc.o.d"
+  "CMakeFiles/pgss_workload.dir/suite.cc.o"
+  "CMakeFiles/pgss_workload.dir/suite.cc.o.d"
+  "libpgss_workload.a"
+  "libpgss_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgss_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

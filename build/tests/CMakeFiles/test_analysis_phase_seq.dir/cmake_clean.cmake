@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_phase_seq.dir/test_analysis_phase_seq.cc.o"
+  "CMakeFiles/test_analysis_phase_seq.dir/test_analysis_phase_seq.cc.o.d"
+  "test_analysis_phase_seq"
+  "test_analysis_phase_seq.pdb"
+  "test_analysis_phase_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_phase_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

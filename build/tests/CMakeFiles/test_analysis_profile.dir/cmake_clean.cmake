@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_profile.dir/test_analysis_profile.cc.o"
+  "CMakeFiles/test_analysis_profile.dir/test_analysis_profile.cc.o.d"
+  "test_analysis_profile"
+  "test_analysis_profile.pdb"
+  "test_analysis_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

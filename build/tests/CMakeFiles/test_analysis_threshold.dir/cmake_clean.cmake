@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_threshold.dir/test_analysis_threshold.cc.o"
+  "CMakeFiles/test_analysis_threshold.dir/test_analysis_threshold.cc.o.d"
+  "test_analysis_threshold"
+  "test_analysis_threshold.pdb"
+  "test_analysis_threshold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

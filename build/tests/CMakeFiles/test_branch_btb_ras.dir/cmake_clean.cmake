@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_btb_ras.dir/test_branch_btb_ras.cc.o"
+  "CMakeFiles/test_branch_btb_ras.dir/test_branch_btb_ras.cc.o.d"
+  "test_branch_btb_ras"
+  "test_branch_btb_ras.pdb"
+  "test_branch_btb_ras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_btb_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_kmeans.dir/test_cluster_kmeans.cc.o"
+  "CMakeFiles/test_cluster_kmeans.dir/test_cluster_kmeans.cc.o.d"
+  "test_cluster_kmeans"
+  "test_cluster_kmeans.pdb"
+  "test_cluster_kmeans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_projection.dir/test_cluster_projection.cc.o"
+  "CMakeFiles/test_cluster_projection.dir/test_cluster_projection.cc.o.d"
+  "test_cluster_projection"
+  "test_cluster_projection.pdb"
+  "test_cluster_projection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_adaptive.dir/test_core_adaptive.cc.o"
+  "CMakeFiles/test_core_adaptive.dir/test_core_adaptive.cc.o.d"
+  "test_core_adaptive"
+  "test_core_adaptive.pdb"
+  "test_core_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_pgss.dir/test_core_pgss.cc.o"
+  "CMakeFiles/test_core_pgss.dir/test_core_pgss.cc.o.d"
+  "test_core_pgss"
+  "test_core_pgss.pdb"
+  "test_core_pgss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_pgss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_phase_table.dir/test_core_phase_table.cc.o"
+  "CMakeFiles/test_core_phase_table.dir/test_core_phase_table.cc.o.d"
+  "test_core_phase_table"
+  "test_core_phase_table.pdb"
+  "test_core_phase_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_phase_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_programs.dir/test_cpu_programs.cc.o"
+  "CMakeFiles/test_cpu_programs.dir/test_cpu_programs.cc.o.d"
+  "test_cpu_programs"
+  "test_cpu_programs.pdb"
+  "test_cpu_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_semantics.dir/test_cpu_semantics.cc.o"
+  "CMakeFiles/test_cpu_semantics.dir/test_cpu_semantics.cc.o.d"
+  "test_cpu_semantics"
+  "test_cpu_semantics.pdb"
+  "test_cpu_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_memory.dir/test_mem_memory.cc.o"
+  "CMakeFiles/test_mem_memory.dir/test_mem_memory.cc.o.d"
+  "test_mem_memory"
+  "test_mem_memory.pdb"
+  "test_mem_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

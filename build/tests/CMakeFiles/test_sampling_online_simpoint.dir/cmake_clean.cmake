@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling_online_simpoint.dir/test_sampling_online_simpoint.cc.o"
+  "CMakeFiles/test_sampling_online_simpoint.dir/test_sampling_online_simpoint.cc.o.d"
+  "test_sampling_online_simpoint"
+  "test_sampling_online_simpoint.pdb"
+  "test_sampling_online_simpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling_online_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

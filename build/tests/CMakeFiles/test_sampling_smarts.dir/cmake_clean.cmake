@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling_smarts.dir/test_sampling_smarts.cc.o"
+  "CMakeFiles/test_sampling_smarts.dir/test_sampling_smarts.cc.o.d"
+  "test_sampling_smarts"
+  "test_sampling_smarts.pdb"
+  "test_sampling_smarts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling_smarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

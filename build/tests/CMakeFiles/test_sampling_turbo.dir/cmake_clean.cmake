@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling_turbo.dir/test_sampling_turbo.cc.o"
+  "CMakeFiles/test_sampling_turbo.dir/test_sampling_turbo.cc.o.d"
+  "test_sampling_turbo"
+  "test_sampling_turbo.pdb"
+  "test_sampling_turbo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

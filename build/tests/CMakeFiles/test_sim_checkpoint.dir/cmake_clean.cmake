@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_checkpoint.dir/test_sim_checkpoint.cc.o"
+  "CMakeFiles/test_sim_checkpoint.dir/test_sim_checkpoint.cc.o.d"
+  "test_sim_checkpoint"
+  "test_sim_checkpoint.pdb"
+  "test_sim_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_checkpoint_library.dir/test_sim_checkpoint_library.cc.o"
+  "CMakeFiles/test_sim_checkpoint_library.dir/test_sim_checkpoint_library.cc.o.d"
+  "test_sim_checkpoint_library"
+  "test_sim_checkpoint_library.pdb"
+  "test_sim_checkpoint_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_checkpoint_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_confidence.dir/test_stats_confidence.cc.o"
+  "CMakeFiles/test_stats_confidence.dir/test_stats_confidence.cc.o.d"
+  "test_stats_confidence"
+  "test_stats_confidence.pdb"
+  "test_stats_confidence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

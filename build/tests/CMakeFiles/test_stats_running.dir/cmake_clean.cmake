@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_running.dir/test_stats_running.cc.o"
+  "CMakeFiles/test_stats_running.dir/test_stats_running.cc.o.d"
+  "test_stats_running"
+  "test_stats_running.pdb"
+  "test_stats_running[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_running.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

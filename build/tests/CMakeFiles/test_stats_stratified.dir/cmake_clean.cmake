@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_stratified.dir/test_stats_stratified.cc.o"
+  "CMakeFiles/test_stats_stratified.dir/test_stats_stratified.cc.o.d"
+  "test_stats_stratified"
+  "test_stats_stratified.pdb"
+  "test_stats_stratified[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_stratified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_env.dir/test_util_env.cc.o"
+  "CMakeFiles/test_util_env.dir/test_util_env.cc.o.d"
+  "test_util_env"
+  "test_util_env.pdb"
+  "test_util_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

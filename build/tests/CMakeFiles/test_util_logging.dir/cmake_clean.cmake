@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_logging.dir/test_util_logging.cc.o"
+  "CMakeFiles/test_util_logging.dir/test_util_logging.cc.o.d"
+  "test_util_logging"
+  "test_util_logging.pdb"
+  "test_util_logging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_random.dir/test_util_random.cc.o"
+  "CMakeFiles/test_util_random.dir/test_util_random.cc.o.d"
+  "test_util_random"
+  "test_util_random.pdb"
+  "test_util_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

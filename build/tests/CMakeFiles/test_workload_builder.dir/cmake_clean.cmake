@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_builder.dir/test_workload_builder.cc.o"
+  "CMakeFiles/test_workload_builder.dir/test_workload_builder.cc.o.d"
+  "test_workload_builder"
+  "test_workload_builder.pdb"
+  "test_workload_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

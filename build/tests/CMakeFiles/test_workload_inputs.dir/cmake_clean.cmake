@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_inputs.dir/test_workload_inputs.cc.o"
+  "CMakeFiles/test_workload_inputs.dir/test_workload_inputs.cc.o.d"
+  "test_workload_inputs"
+  "test_workload_inputs.pdb"
+  "test_workload_inputs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

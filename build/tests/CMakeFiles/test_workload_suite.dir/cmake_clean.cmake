@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_suite.dir/test_workload_suite.cc.o"
+  "CMakeFiles/test_workload_suite.dir/test_workload_suite.cc.o.d"
+  "test_workload_suite"
+  "test_workload_suite.pdb"
+  "test_workload_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
