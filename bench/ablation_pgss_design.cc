@@ -78,8 +78,9 @@ variants(const sim::EngineConfig &base_engine)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "ablation_pgss_design");
     bench::printHeader(
         "Ablation - PGSS design choices (100k period, 0.05 pi)",
         "Error / detailed ops / phases for each variant; DESIGN.md "
@@ -118,5 +119,6 @@ main()
                 "hashes blur phase signatures (fewer phases, more "
                 "within-phase variance);\na higher sample floor "
                 "costs detail on stable workloads (equake).\n");
+    bench::finish();
     return 0;
 }

@@ -94,8 +94,9 @@ markRange(std::string &strip, double begin_op, double end_op,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig01");
     bench::printHeader(
         "Figure 1 - sample placement: SMARTS vs SimPoint vs PGSS-Sim",
         "Each strip is the whole program; marks show where detailed "
@@ -182,5 +183,6 @@ main()
                 "first appear or recur\nand stop once each phase's "
                 "CI closes; SMARTS stays uniform; SimPoint\nspends "
                 "contiguous megasamples.\n");
+    bench::finish();
     return 0;
 }

@@ -20,8 +20,9 @@
 using namespace pgss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig02");
     bench::printHeader(
         "Figure 2 - IPC vs completed ops at four granularities "
         "(164.gzip)",
@@ -82,5 +83,6 @@ main()
         std::printf("  %-20s sigma = %.4f\n", level.label,
                     p.ipcStats().stddev());
     }
+    bench::finish();
     return 0;
 }

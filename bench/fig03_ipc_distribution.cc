@@ -22,8 +22,9 @@
 using namespace pgss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig03");
     bench::printHeader(
         "Figure 3 - IPC vs time and IPC distribution (168.wupwise)",
         "Simulated analogue replaces the paper's Pentium-4 hardware "
@@ -79,5 +80,6 @@ main()
                     : "WARNING: expected a polymodal distribution");
     std::printf("overall: true IPC %.3f, interval sigma %.3f\n",
                 profile.trueIpc(), stats.stddev());
+    bench::finish();
     return 0;
 }

@@ -17,8 +17,9 @@
 using namespace pgss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig07");
     bench::printHeader(
         "Figure 7 - distribution of BBV change vs IPC change "
         "(100k-op samples, 10 benchmarks)",
@@ -92,5 +93,6 @@ main()
     std::printf("\nexpected shape: mass hugs the axes — large BBV "
                 "changes accompany large\nIPC changes, and angles "
                 "beyond ~0.05 pi typically mean a real change.\n");
+    bench::finish();
     return 0;
 }

@@ -18,8 +18,9 @@
 using namespace pgss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig08");
     bench::printHeader(
         "Figure 8 - %% of IPC changes caught vs BBV threshold",
         "Rows: threshold as a fraction of pi. Columns: IPC-change "
@@ -54,5 +55,6 @@ main()
     std::printf("detection of >0.5-sigma changes: %.1f%% at 0.05 pi "
                 "vs %.1f%% at 0.35 pi\n",
                 100.0 * at_knee, 100.0 * far_out);
+    bench::finish();
     return 0;
 }

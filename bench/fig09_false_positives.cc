@@ -19,8 +19,9 @@
 using namespace pgss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig09");
     bench::printHeader(
         "Figure 9 - %% of detected changes that are false positives",
         "Rows: threshold as a fraction of pi. Columns: IPC-change "
@@ -50,5 +51,6 @@ main()
                 "at low thresholds\n(every twitch of the BBV gets "
                 "flagged) and for strict significance\nlevels (right "
                 "columns), falling as the threshold rises.\n");
+    bench::finish();
     return 0;
 }

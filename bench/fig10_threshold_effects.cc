@@ -19,8 +19,9 @@
 using namespace pgss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig10");
     bench::printHeader(
         "Figure 10 - threshold effects on phase characteristics "
         "(300.twolf)",
@@ -54,5 +55,6 @@ main()
                 "interval length grows; the variation left inside\n"
                 "phases (fraction of overall sigma) rises toward "
                 "1.0.\n");
+    bench::finish();
     return 0;
 }

@@ -36,8 +36,9 @@ const double thresholds[] = {0.05, 0.10, 0.15, 0.20, 0.25};
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig11");
     bench::printHeader(
         "Figure 11 - PGSS sampling error vs BBV period and "
         "threshold",
@@ -147,5 +148,6 @@ main()
     std::printf("\njitter places each sample at a random offset "
                 "inside its period;\nthe art/mcf short-period "
                 "failures (micro-phase aliasing) should vanish.\n");
+    bench::finish();
     return 0;
 }

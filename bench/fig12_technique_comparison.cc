@@ -59,8 +59,9 @@ bestOf(const Cell &a, const Cell &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig12");
     bench::printHeader(
         "Figure 12 - error and detailed-instruction cost per "
         "technique",
@@ -267,5 +268,6 @@ main()
                 "2-3\norders under SimPoint (our decade-scaled "
                 "workloads compress the SMARTS\nratio; see "
                 "EXPERIMENTS.md).\n");
+    bench::finish();
     return 0;
 }

@@ -103,6 +103,7 @@ measureRate(bool bbv, sim::SimMode mode)
 int
 main(int argc, char **argv)
 {
+    bench::init(argc, argv, "fig13_simulation_time");
     bench::printHeader(
         "Figure 13 - total simulation time per technique",
         "Per-mode rates measured with google-benchmark; technique "
@@ -235,5 +236,6 @@ main(int argc, char **argv)
                 "PGSS's detailed component is by far the smallest. "
                 "Our\nFF/detailed rate gap is small, as was the "
                 "paper's (Section 6 caveat).\n");
+    bench::finish();
     return 0;
 }

@@ -4,11 +4,25 @@
 #include <cstdio>
 
 #include "analysis/profile_cache.hh"
+#include "obs/report.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 
 namespace pgss::bench
 {
+
+void
+init(int &argc, char **argv, const std::string &figure_id)
+{
+    obs::initFromCli(argc, argv, figure_id);
+    obs::setReportMeta("workload_scale", benchScale());
+}
+
+void
+finish()
+{
+    obs::finalize();
+}
 
 double
 benchScale()

@@ -29,6 +29,21 @@ struct Entry
     analysis::IntervalProfile profile;
 };
 
+/**
+ * Observability plumbing shared by every bench: parse and strip
+ * --stats-json=<path> / --trace-out=<path> (env PGSS_STATS_JSON /
+ * PGSS_TRACE_OUT), install the trace sink, and stamp the report with
+ * the figure id and workload scale. Call first thing in main().
+ */
+void init(int &argc, char **argv, const std::string &figure_id);
+
+/**
+ * Flush tracing and, when --stats-json was requested, write the run
+ * report (per-mode ops, host wall-clock, simulated MIPS, and any
+ * stats registered into obs::registry()). Call last in main().
+ */
+void finish();
+
 /** The workload scale in effect (PGSS_SCALE env, default 1.0). */
 double benchScale();
 

@@ -22,6 +22,7 @@
 
 #include "analysis/interval_profile.hh"
 #include "core/pgss_controller.hh"
+#include "obs/report.hh"
 #include "sampling/simpoint_sampler.hh"
 #include "workload/suite.hh"
 
@@ -29,6 +30,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pgss;
+    obs::initFromCli(argc, argv, "input_sensitivity");
 
     const std::string name = argc > 1 ? argv[1] : "164.gzip";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
@@ -108,5 +110,6 @@ main(int argc, char **argv)
     std::printf("\nthe offline analysis is input-specific; online "
                 "phase tracking is not —\nthe paper's motivation for "
                 "run-time BBV tracking (Section 2.1).\n");
+    obs::finalize();
     return 0;
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/report.hh"
 #include "sampling/checkpointed.hh"
 #include "sim/checkpoint_library.hh"
 #include "util/random.hh"
@@ -23,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pgss;
+    obs::initFromCli(argc, argv, "livepoint_seek");
 
     const std::string name = argc > 1 ? argv[1] : "164.gzip";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
@@ -87,5 +89,6 @@ main(int argc, char **argv)
                 "section borrows from\nTurboSMARTS live-points: "
                 "once positions are checkpointed, samples can\nbe "
                 "(re)measured in any order at stride-bounded cost.\n");
+    obs::finalize();
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdlib>
 
 #include "analysis/phase_sequence.hh"
+#include "obs/report.hh"
 #include "stats/running_stats.hh"
 #include "workload/suite.hh"
 
@@ -23,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pgss;
+    obs::initFromCli(argc, argv, "phase_explorer");
 
     const std::string name = argc > 1 ? argv[1] : "179.art";
     const double threshold =
@@ -81,5 +83,6 @@ main(int argc, char **argv)
 
     std::printf("\noverall: true IPC %.3f, interval sigma %.4f\n",
                 profile.trueIpc(), profile.ipcStats().stddev());
+    obs::finalize();
     return 0;
 }

@@ -19,6 +19,8 @@
 
 #include "analysis/interval_profile.hh"
 #include "core/pgss_controller.hh"
+#include "obs/report.hh"
+#include "obs/stats.hh"
 #include "sim/engine.hh"
 #include "workload/suite.hh"
 
@@ -26,6 +28,10 @@ int
 main(int argc, char **argv)
 {
     using namespace pgss;
+
+    // --stats-json=<path> / --trace-out=<path> are stripped here so
+    // the positional arguments below keep working.
+    obs::initFromCli(argc, argv, "quickstart");
 
     const std::string name = argc > 1 ? argv[1] : "164.gzip";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
@@ -53,8 +59,12 @@ main(int argc, char **argv)
     //    0.05*pi threshold, 3k+1k detailed sample windows.
     core::PgssConfig config;
     sim::SimulationEngine engine(built.program);
-    const core::PgssResult result =
-        core::PgssController(config).run(engine);
+    core::PgssController controller(config);
+    engine.registerStats(obs::registry().root());
+    controller.registerStats(obs::registry().root());
+    obs::setReportMeta("workload", built.program.name);
+    obs::setReportMeta("workload_scale", scale);
+    const core::PgssResult result = controller.run(engine);
 
     std::printf("\nPGSS-Sim estimate: %.3f IPC (error %.2f%%)\n",
                 result.est_ipc,
@@ -80,5 +90,6 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(p.samples),
                     p.mean_cpi, 100.0 * p.cpi_cov);
     }
+    obs::finalize();
     return 0;
 }

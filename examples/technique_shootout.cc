@@ -15,6 +15,7 @@
 
 #include "analysis/interval_profile.hh"
 #include "core/pgss_controller.hh"
+#include "obs/report.hh"
 #include "sampling/online_simpoint.hh"
 #include "sampling/simpoint_sampler.hh"
 #include "sampling/smarts.hh"
@@ -26,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pgss;
+    obs::initFromCli(argc, argv, "technique_shootout");
 
     const std::string name = argc > 1 ? argv[1] : "183.equake";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
@@ -102,5 +104,6 @@ main(int argc, char **argv)
     std::printf("\nSMARTS/SimPoint should be the most accurate; "
                 "PGSS should be close while\nspending the least "
                 "detailed simulation.\n");
+    obs::finalize();
     return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "analysis/interval_profile.hh"
 #include "core/pgss_controller.hh"
+#include "obs/report.hh"
 #include "util/table.hh"
 #include "workload/suite.hh"
 
@@ -22,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     using namespace pgss;
+    obs::initFromCli(argc, argv, "threshold_tuning");
 
     const std::string name = argc > 1 ? argv[1] : "300.twolf";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
@@ -76,5 +78,6 @@ main(int argc, char **argv)
                 "positives, extra samples); high\nthresholds merge "
                 "real behaviour changes. The sweet spot is near "
                 "0.05 pi,\nas in the paper.\n");
+    obs::finalize();
     return 0;
 }

@@ -25,8 +25,10 @@ bool
 Btb::lookup(std::uint64_t pc, std::uint64_t &target) const
 {
     const std::uint32_t i = index(pc);
+    ++stats_.lookups;
     if (!valid_[i] || tags_[i] != pc)
         return false;
+    ++stats_.hits;
     target = targets_[i];
     return true;
 }
@@ -71,17 +73,23 @@ ReturnAddressStack::ReturnAddressStack(std::uint32_t depth)
 void
 ReturnAddressStack::push(std::uint64_t addr)
 {
+    ++stats_.pushes;
     top_ = (top_ + 1) % stack_.size();
     stack_[top_] = addr;
     if (count_ < stack_.size())
         ++count_;
+    else
+        ++stats_.overflows;
 }
 
 std::uint64_t
 ReturnAddressStack::pop()
 {
-    if (count_ == 0)
+    ++stats_.pops;
+    if (count_ == 0) {
+        ++stats_.underflows;
         return 0;
+    }
     const std::uint64_t addr = stack_[top_];
     top_ = (top_ + stack_.size() - 1) % stack_.size();
     --count_;

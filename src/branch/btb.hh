@@ -14,6 +14,20 @@
 namespace pgss::branch
 {
 
+/** Lookup/hit accounting for the BTB. */
+struct BtbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+
+    /** Hit ratio; 0 when no lookups have happened. */
+    double
+    hitRatio() const
+    {
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+};
+
 /** Direct-mapped, tagged branch target buffer. */
 class Btb
 {
@@ -30,6 +44,12 @@ class Btb
 
     /** Install/refresh the mapping pc -> target. */
     void update(std::uint64_t pc, std::uint64_t target);
+
+    /** Accumulated lookup statistics. */
+    const BtbStats &stats() const { return stats_; }
+
+    /** Reset statistics (entries retained). */
+    void clearStats() { stats_ = BtbStats(); }
 
     /** Clear all entries. */
     void reset();
@@ -52,6 +72,16 @@ class Btb
     std::vector<std::uint64_t> targets_;
     std::vector<std::uint8_t> valid_;
     std::uint32_t mask_;
+    mutable BtbStats stats_; ///< lookup() is logically const
+};
+
+/** Call/return traffic accounting for the RAS. */
+struct RasStats
+{
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t overflows = 0;  ///< pushes that wrapped a full stack
+    std::uint64_t underflows = 0; ///< pops of an empty stack
 };
 
 /** Fixed-depth return-address stack with wrap-around overflow. */
@@ -73,6 +103,12 @@ class ReturnAddressStack
     /** Current occupancy. */
     std::uint32_t size() const { return count_; }
 
+    /** Accumulated traffic statistics. */
+    const RasStats &stats() const { return stats_; }
+
+    /** Reset statistics (contents retained). */
+    void clearStats() { stats_ = RasStats(); }
+
     /** Empty the stack. */
     void reset();
 
@@ -80,6 +116,7 @@ class ReturnAddressStack
     std::vector<std::uint64_t> stack_;
     std::uint32_t top_ = 0;
     std::uint32_t count_ = 0;
+    RasStats stats_;
 };
 
 } // namespace pgss::branch

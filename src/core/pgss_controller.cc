@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "bbv/bbv_math.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "stats/confidence.hh"
 #include "stats/stratified.hh"
 #include "util/logging.hh"
@@ -19,6 +21,26 @@ PgssController::PgssController(const PgssConfig &config)
     util::panicIf(config.detailed_warmup + config.detailed_sample >
                       config.bbv_period,
                   "sample window does not fit in the BBV period");
+    counters_.threshold = config.threshold;
+}
+
+void
+PgssController::registerStats(obs::Group &parent) const
+{
+    obs::Group &g = parent.child("pgss", "PGSS sampling controller");
+    g.addCounter("periods", "BBV periods classified",
+                 [this] { return counters_.periods; });
+    g.addCounter("samples", "detailed samples taken",
+                 [this] { return counters_.samples; });
+    g.addCounter("phases", "phases created",
+                 [this] { return counters_.phases; });
+    g.addCounter("phase_changes", "period-to-period transitions",
+                 [this] { return counters_.phase_changes; });
+    g.addCounter("threshold_adjustments",
+                 "adaptive threshold moves",
+                 [this] { return counters_.threshold_adjustments; });
+    g.addScalar("threshold", "current BBV angle threshold (radians)",
+                [this] { return counters_.threshold; });
 }
 
 PgssResult
@@ -62,6 +84,9 @@ PgssController::run(sim::SimulationEngine &engine)
                 chunk_ops +=
                     engine.run(offset, sim::SimMode::FunctionalWarm)
                         .ops;
+            if (obs::TraceSink *t = obs::traceSink())
+                t->emit(obs::TraceKind::SampleOpen,
+                        engine.totalOps());
             const sim::RunResult warm = engine.run(
                 config_.detailed_warmup, sim::SimMode::DetailedWarm);
             const sim::RunResult meas = engine.run(
@@ -94,11 +119,28 @@ PgssController::run(sim::SimulationEngine &engine)
         Phase &phase = table.phase(match.phase_id);
         phase.addOps(chunk_ops);
 
+        ++counters_.periods;
+        if (match.created)
+            ++counters_.phases;
+        if (match.changed)
+            ++counters_.phase_changes;
+        if (obs::TraceSink *t = obs::traceSink())
+            t->emit(obs::TraceKind::PhaseClassified,
+                    engine.totalOps(), match.phase_id,
+                    (match.created ? 1u : 0u) |
+                        (match.changed ? 2u : 0u),
+                    match.angle_to_last);
+
         // The sample inside this period is credited to the phase the
         // period was classified as.
         if (have_sample) {
             phase.addSample(sample_cpi, engine.totalOps());
             ++res.n_samples;
+            ++counters_.samples;
+            if (obs::TraceSink *t = obs::traceSink())
+                t->emit(obs::TraceKind::SampleClose,
+                        engine.totalOps(), phase.id(), 0,
+                        sample_cpi);
             if (config_.record_timeline)
                 res.timeline.push_back(
                     {engine.totalOps(), phase.id(), sample_cpi});
@@ -116,7 +158,16 @@ PgssController::run(sim::SimulationEngine &engine)
                 config_.min_sample_spacing;
         sample_next_period = !converged && spaced;
 
+        const double threshold_before = adaptive.threshold();
         adaptive.onPeriod(table, match.created);
+        if (adaptive.threshold() != threshold_before) {
+            ++counters_.threshold_adjustments;
+            counters_.threshold = adaptive.threshold();
+            if (obs::TraceSink *t = obs::traceSink())
+                t->emit(obs::TraceKind::ThresholdAdjust,
+                        engine.totalOps(), 0, 0,
+                        adaptive.threshold());
+        }
     }
 
     engine.setHashedBbvEnabled(false);

@@ -22,6 +22,11 @@
 #include "core/phase_table.hh"
 #include "sim/engine.hh"
 
+namespace pgss::obs
+{
+class Group;
+}
+
 namespace pgss::core
 {
 
@@ -64,6 +69,21 @@ struct PgssResult
     std::vector<SampleEvent> timeline; ///< when record_timeline set
 };
 
+/**
+ * Live counters a controller updates as it runs, so registered stats
+ * and trace consumers see sampling progress without waiting for the
+ * PgssResult. Accumulates across run() calls on the same controller.
+ */
+struct ControllerCounters
+{
+    std::uint64_t periods = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t phases = 0;
+    std::uint64_t phase_changes = 0;
+    std::uint64_t threshold_adjustments = 0;
+    double threshold = 0.0; ///< current angle threshold (radians)
+};
+
 /** Runs PGSS-Sim over one engine. */
 class PgssController
 {
@@ -80,8 +100,19 @@ class PgssController
 
     const PgssConfig &config() const { return config_; }
 
+    /** Live sampling-progress counters. */
+    const ControllerCounters &counters() const { return counters_; }
+
+    /**
+     * Register the sampling-decision counters (periods, samples,
+     * phases, threshold moves) into a "pgss" child of @p parent. The
+     * controller must outlive dumps of the enclosing registry.
+     */
+    void registerStats(obs::Group &parent) const;
+
   private:
     PgssConfig config_;
+    ControllerCounters counters_;
 };
 
 } // namespace pgss::core

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/stats.hh"
 #include "util/logging.hh"
 
 namespace pgss::mem
@@ -147,6 +148,19 @@ Cache::setState(const State &st)
     dirty_ = st.dirty;
     stamp_ = st.stamp;
     tick_ = st.tick;
+}
+
+void
+Cache::registerStats(obs::Group &group) const
+{
+    group.addCounter("hits", "accesses that hit",
+                     [this] { return stats_.hits; });
+    group.addCounter("misses", "accesses that missed",
+                     [this] { return stats_.misses; });
+    group.addCounter("writebacks", "dirty victims evicted",
+                     [this] { return stats_.writebacks; });
+    group.addFormula("miss_ratio", "misses / (hits + misses)",
+                     [this] { return stats_.missRatio(); });
 }
 
 } // namespace pgss::mem

@@ -14,6 +14,11 @@
 #include <string>
 #include <vector>
 
+namespace pgss::obs
+{
+class Group;
+}
+
 namespace pgss::mem
 {
 
@@ -74,6 +79,13 @@ class Cache
 
     /** Reset statistics (contents retained). */
     void clearStats() { stats_ = CacheStats(); }
+
+    /**
+     * Register hits/misses/writebacks counters and the miss_ratio
+     * formula into @p group. The cache must outlive dumps of the
+     * registry @p group belongs to.
+     */
+    void registerStats(obs::Group &group) const;
 
     /** Geometry. */
     const CacheConfig &config() const { return config_; }

@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include "obs/stats.hh"
+
 namespace pgss::mem
 {
 
@@ -62,6 +64,15 @@ CacheHierarchy::flushAll()
     l1i_.flush();
     l1d_.flush();
     l2_.flush();
+}
+
+void
+CacheHierarchy::registerStats(obs::Group &parent) const
+{
+    l1i_.registerStats(
+        parent.child("l1i", "L1 instruction cache"));
+    l1d_.registerStats(parent.child("l1d", "L1 data cache"));
+    l2_.registerStats(parent.child("l2", "unified L2 cache"));
 }
 
 CacheHierarchy::State

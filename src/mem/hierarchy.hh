@@ -15,6 +15,11 @@
 
 #include "mem/cache.hh"
 
+namespace pgss::obs
+{
+class Group;
+}
+
 namespace pgss::mem
 {
 
@@ -68,6 +73,13 @@ class CacheHierarchy
     Cache &l2() { return l2_; }
 
     const HierarchyConfig &config() const { return config_; }
+
+    /**
+     * Register per-level child groups ("l1i"/"l1d"/"l2") with each
+     * cache's counters into @p parent. The hierarchy must outlive
+     * dumps of the enclosing registry.
+     */
+    void registerStats(obs::Group &parent) const;
 
     /** All-level tag snapshot for checkpointing. */
     struct State

@@ -1,0 +1,210 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace pgss::obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter() = default;
+
+void
+JsonWriter::comma()
+{
+    if (need_comma_)
+        out_ += ',';
+    need_comma_ = false;
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+}
+
+void
+JsonWriter::appendDouble(double v)
+{
+    if (!std::isfinite(v)) {
+        out_ += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    ++depth_;
+    started_ = true;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    out_ += '{';
+    ++depth_;
+    started_ = true;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::endObject()
+{
+    util::panicIf(depth_ == 0, "JsonWriter: endObject at depth 0");
+    out_ += '}';
+    --depth_;
+    need_comma_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    ++depth_;
+    started_ = true;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    out_ += '[';
+    ++depth_;
+    started_ = true;
+    need_comma_ = false;
+}
+
+void
+JsonWriter::endArray()
+{
+    util::panicIf(depth_ == 0, "JsonWriter: endArray at depth 0");
+    out_ += ']';
+    --depth_;
+    need_comma_ = true;
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    need_comma_ = true;
+}
+
+void
+JsonWriter::field(const std::string &k, const char *v)
+{
+    field(k, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    appendDouble(v);
+    need_comma_ = true;
+}
+
+void
+JsonWriter::field(const std::string &k, std::uint64_t v)
+{
+    key(k);
+    out_ += std::to_string(v);
+    need_comma_ = true;
+}
+
+void
+JsonWriter::field(const std::string &k, std::int64_t v)
+{
+    key(k);
+    out_ += std::to_string(v);
+    need_comma_ = true;
+}
+
+void
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    out_ += v ? "true" : "false";
+    need_comma_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    need_comma_ = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    appendDouble(v);
+    need_comma_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    need_comma_ = true;
+}
+
+} // namespace pgss::obs

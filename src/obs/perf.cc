@@ -1,0 +1,61 @@
+#include "obs/perf.hh"
+
+#include "obs/json.hh"
+
+namespace pgss::obs
+{
+
+PerfHandle *
+PerfRegistry::handle(const std::string &name)
+{
+    for (const auto &h : handles_)
+        if (h->name == name)
+            return h.get();
+    handles_.push_back(std::make_unique<PerfHandle>());
+    handles_.back()->name = name;
+    return handles_.back().get();
+}
+
+std::vector<const PerfHandle *>
+PerfRegistry::handles() const
+{
+    std::vector<const PerfHandle *> out;
+    out.reserve(handles_.size());
+    for (const auto &h : handles_)
+        out.push_back(h.get());
+    return out;
+}
+
+void
+PerfRegistry::reset()
+{
+    for (const auto &h : handles_) {
+        h->calls = 0;
+        h->ops = 0;
+        h->seconds = 0.0;
+    }
+}
+
+void
+PerfRegistry::dumpJson(JsonWriter &w) const
+{
+    w.beginObject("perf");
+    for (const auto &h : handles_) {
+        w.beginObject(h->name);
+        w.field("calls", h->calls);
+        w.field("ops", h->ops);
+        w.field("seconds", h->seconds);
+        w.field("mips", h->mips());
+        w.endObject();
+    }
+    w.endObject();
+}
+
+PerfRegistry &
+perf()
+{
+    static PerfRegistry registry;
+    return registry;
+}
+
+} // namespace pgss::obs

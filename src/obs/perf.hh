@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Host-side performance instrumentation: named accumulating timers
+ * that track how much wall-clock time the simulator spends doing what,
+ * and how many simulated instructions that time bought. The engine
+ * times each SimMode through one handle per mode, so every run report
+ * carries per-mode host seconds and simulated MIPS — the trajectory
+ * BENCH_*.json files use to track simulator speed across PRs.
+ *
+ * Handles are process-global and stable: resolve once (a name lookup),
+ * then accumulate with two adds per timed section. Accumulation
+ * happens per engine.run() chunk (>= a sample window of work), never
+ * per instruction.
+ */
+
+#ifndef PGSS_OBS_PERF_HH
+#define PGSS_OBS_PERF_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgss::obs
+{
+
+class JsonWriter;
+
+/** One named accumulator. */
+struct PerfHandle
+{
+    std::string name;
+    std::uint64_t calls = 0;   ///< timed sections entered
+    std::uint64_t ops = 0;     ///< simulated instructions covered
+    double seconds = 0.0;      ///< host wall-clock accumulated
+
+    /** Simulated MIPS over the accumulated time (0 when untimed). */
+    double mips() const
+    {
+        return seconds > 0.0 ? static_cast<double>(ops) / seconds / 1e6
+                             : 0.0;
+    }
+
+    /** Add one timed section. */
+    void add(std::uint64_t n_ops, double n_seconds)
+    {
+        ++calls;
+        ops += n_ops;
+        seconds += n_seconds;
+    }
+};
+
+/** The process-wide timer set. */
+class PerfRegistry
+{
+  public:
+    /**
+     * Resolve @p name to its accumulator, creating it on first use.
+     * The pointer stays valid for the process lifetime.
+     */
+    PerfHandle *handle(const std::string &name);
+
+    /** All handles in creation order. */
+    std::vector<const PerfHandle *> handles() const;
+
+    /** Zero every accumulator (handles stay valid). */
+    void reset();
+
+    /** Serialize as a keyed "perf" object into @p w. */
+    void dumpJson(JsonWriter &w) const;
+
+  private:
+    std::vector<std::unique_ptr<PerfHandle>> handles_;
+};
+
+/** The global performance registry. */
+PerfRegistry &perf();
+
+} // namespace pgss::obs
+
+#endif // PGSS_OBS_PERF_HH

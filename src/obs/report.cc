@@ -1,0 +1,153 @@
+#include "obs/report.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/perf.hh"
+#include "obs/trace.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace pgss::obs
+{
+
+namespace
+{
+
+struct ReportState
+{
+    std::string program = "unknown";
+    std::string stats_json_path;
+    std::vector<std::pair<std::string, std::string>> meta_str;
+    std::vector<std::pair<std::string, double>> meta_num;
+};
+
+ReportState &
+state()
+{
+    static ReportState s;
+    return s;
+}
+
+/** Value of "--<flag>=..." when @p arg matches, else nullptr. */
+const char *
+flagValue(const char *arg, const char *flag)
+{
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=')
+        return arg + len + 1;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+StatsRegistry &
+registry()
+{
+    static StatsRegistry reg;
+    return reg;
+}
+
+void
+initFromCli(int &argc, char **argv, const std::string &program_name)
+{
+    state().program = program_name;
+    std::string stats_path = util::envString("PGSS_STATS_JSON", "");
+    std::string trace_path = util::envString("PGSS_TRACE_OUT", "");
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = flagValue(argv[i], "--stats-json")) {
+            stats_path = v;
+        } else if (const char *v2 = flagValue(argv[i], "--trace-out")) {
+            trace_path = v2;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    state().stats_json_path = stats_path;
+    if (!trace_path.empty())
+        setTraceSink(std::make_unique<TraceSink>(trace_path));
+}
+
+void
+setReportMeta(const std::string &key, const std::string &value)
+{
+    for (auto &kv : state().meta_str) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    state().meta_str.emplace_back(key, value);
+}
+
+void
+setReportMeta(const std::string &key, double value)
+{
+    for (auto &kv : state().meta_num) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    state().meta_num.emplace_back(key, value);
+}
+
+std::string
+reportJsonString()
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "pgss-run-report");
+    w.field("schema_version",
+            std::uint64_t{StatsRegistry::schema_version});
+    w.field("program", state().program);
+    w.beginObject("meta");
+    for (const auto &kv : state().meta_str)
+        w.field(kv.first, kv.second);
+    for (const auto &kv : state().meta_num)
+        w.field(kv.first, kv.second);
+    w.endObject();
+    perf().dumpJson(w);
+    registry().dumpJson(w);
+    w.endObject();
+    return w.str();
+}
+
+bool
+finalize()
+{
+    if (TraceSink *t = traceSink())
+        t->flush();
+
+    const std::string &path = state().stats_json_path;
+    if (path.empty())
+        return true;
+
+    const std::string doc = reportJsonString();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        util::warn("report: cannot write '%s'", path.c_str());
+        return false;
+    }
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    util::inform("report: wrote %s", path.c_str());
+    return true;
+}
+
+const std::string &
+statsJsonPath()
+{
+    return state().stats_json_path;
+}
+
+} // namespace pgss::obs

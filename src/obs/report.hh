@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable run reports and the CLI/env plumbing every bench
+ * and example binary shares. A run report is one JSON document
+ * (schema "pgss-run-report", version StatsRegistry::schema_version)
+ * containing:
+ *
+ *   - "program": the binary/figure identifier
+ *   - "meta": free-form key/value annotations (workload scale, ...)
+ *   - "perf": the global PerfRegistry (per-mode host time and MIPS)
+ *   - "stats": the global StatsRegistry tree
+ *
+ * Flags (also honoured as environment variables):
+ *   --stats-json=<path>   (PGSS_STATS_JSON)  write the report on
+ *                         finalize()
+ *   --trace-out=<path>    (PGSS_TRACE_OUT)   stream trace events as
+ *                         JSONL
+ *
+ * initFromCli() strips the flags it consumes from argv so positional
+ * argument parsing in the binaries keeps working.
+ */
+
+#ifndef PGSS_OBS_REPORT_HH
+#define PGSS_OBS_REPORT_HH
+
+#include <string>
+
+#include "obs/stats.hh"
+
+namespace pgss::obs
+{
+
+/**
+ * The process-wide stats registry that finalize() reports. Components
+ * registered here must stay alive until after finalize().
+ */
+StatsRegistry &registry();
+
+/**
+ * Parse and remove --stats-json=/--trace-out= from @p argv (falling
+ * back to PGSS_STATS_JSON/PGSS_TRACE_OUT), install the trace sink,
+ * and remember @p program_name for the report header. Call once at
+ * the top of main().
+ */
+void initFromCli(int &argc, char **argv,
+                 const std::string &program_name);
+
+/** Annotate the report's "meta" object (last write per key wins). */
+void setReportMeta(const std::string &key, const std::string &value);
+void setReportMeta(const std::string &key, double value);
+
+/** The complete run-report JSON document, as finalize() writes it. */
+std::string reportJsonString();
+
+/**
+ * Flush the trace sink and, when --stats-json was given, write the
+ * run report. Call once at the end of main(), while every component
+ * registered into registry() is still alive. @return false when a
+ * requested report could not be written.
+ */
+bool finalize();
+
+/** Path the report will be written to ("" when not requested). */
+const std::string &statsJsonPath();
+
+} // namespace pgss::obs
+
+#endif // PGSS_OBS_REPORT_HH

@@ -1,0 +1,288 @@
+#include "obs/stats.hh"
+
+#include <ostream>
+#include <utility>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace pgss::obs
+{
+
+Group::Group(std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+}
+
+void
+Group::checkUnique(const std::string &name) const
+{
+    for (const Stat &s : stats_)
+        if (s.name == name)
+            util::panic("stats: duplicate name '%s' in group '%s'",
+                        name.c_str(), name_.c_str());
+    for (const auto &c : children_)
+        if (c->name() == name)
+            util::panic("stats: name '%s' collides with a child group "
+                        "of '%s'",
+                        name.c_str(), name_.c_str());
+}
+
+Group &
+Group::child(const std::string &name, const std::string &desc)
+{
+    for (const auto &c : children_)
+        if (c->name() == name)
+            return *c;
+    checkUnique(name);
+    children_.push_back(std::make_unique<Group>(name, desc));
+    return *children_.back();
+}
+
+void
+Group::addCounter(const std::string &name, const std::string &desc,
+                  std::function<std::uint64_t()> get)
+{
+    checkUnique(name);
+    Stat s;
+    s.name = name;
+    s.desc = desc;
+    s.kind = StatKind::Counter;
+    s.counter = std::move(get);
+    stats_.push_back(std::move(s));
+}
+
+void
+Group::addScalar(const std::string &name, const std::string &desc,
+                 std::function<double()> get)
+{
+    checkUnique(name);
+    Stat s;
+    s.name = name;
+    s.desc = desc;
+    s.kind = StatKind::Scalar;
+    s.scalar = std::move(get);
+    stats_.push_back(std::move(s));
+}
+
+void
+Group::addFormula(const std::string &name, const std::string &desc,
+                  std::function<double()> get)
+{
+    checkUnique(name);
+    Stat s;
+    s.name = name;
+    s.desc = desc;
+    s.kind = StatKind::Formula;
+    s.scalar = std::move(get);
+    stats_.push_back(std::move(s));
+}
+
+void
+Group::addVector(const std::string &name, const std::string &desc,
+                 std::vector<std::string> elements,
+                 std::function<std::vector<double>()> get)
+{
+    checkUnique(name);
+    util::panicIf(elements.empty(), "vector stat with no elements");
+    Stat s;
+    s.name = name;
+    s.desc = desc;
+    s.kind = StatKind::Vector;
+    s.elements = std::move(elements);
+    s.vec = std::move(get);
+    stats_.push_back(std::move(s));
+}
+
+void
+Group::dumpJson(JsonWriter &w) const
+{
+    for (const Stat &s : stats_) {
+        switch (s.kind) {
+          case StatKind::Counter:
+            w.field(s.name, s.counter());
+            break;
+          case StatKind::Scalar:
+          case StatKind::Formula:
+            w.field(s.name, s.scalar());
+            break;
+          case StatKind::Vector: {
+            const std::vector<double> vals = s.vec();
+            util::panicIf(vals.size() != s.elements.size(),
+                          "vector stat getter size mismatch");
+            w.beginObject(s.name);
+            for (std::size_t i = 0; i < vals.size(); ++i)
+                w.field(s.elements[i], vals[i]);
+            w.endObject();
+            break;
+          }
+        }
+    }
+    for (const auto &c : children_) {
+        w.beginObject(c->name());
+        c->dumpJson(w);
+        w.endObject();
+    }
+}
+
+StatsRegistry::StatsRegistry() : root_("root", "stats root") {}
+
+namespace
+{
+
+const char *
+kindName(StatKind k)
+{
+    switch (k) {
+      case StatKind::Counter:
+        return "counter";
+      case StatKind::Scalar:
+        return "scalar";
+      case StatKind::Formula:
+        return "formula";
+      case StatKind::Vector:
+        return "vector";
+    }
+    return "?";
+}
+
+void
+dumpGroupText(const Group &g, const std::string &prefix,
+              util::Table &table)
+{
+    for (const Stat &s : g.stats()) {
+        const std::string full = prefix + s.name;
+        switch (s.kind) {
+          case StatKind::Counter:
+            table.addRow({full, util::Table::fmtCount(s.counter()),
+                          kindName(s.kind), s.desc});
+            break;
+          case StatKind::Scalar:
+          case StatKind::Formula:
+            table.addRow({full, util::Table::fmt(s.scalar(), 6),
+                          kindName(s.kind), s.desc});
+            break;
+          case StatKind::Vector: {
+            const std::vector<double> vals = s.vec();
+            for (std::size_t i = 0;
+                 i < vals.size() && i < s.elements.size(); ++i) {
+                table.addRow({full + "." + s.elements[i],
+                              util::Table::fmt(vals[i], 6),
+                              kindName(s.kind), s.desc});
+            }
+            break;
+          }
+        }
+    }
+    for (const auto &c : g.children())
+        dumpGroupText(*c, prefix + c->name() + ".", table);
+}
+
+} // anonymous namespace
+
+void
+StatsRegistry::dumpText(std::ostream &os) const
+{
+    util::Table table("statistics");
+    table.setHeader({"name", "value", "kind", "description"});
+    dumpGroupText(root_, "", table);
+    table.print(os);
+}
+
+void
+StatsRegistry::dumpJson(JsonWriter &w) const
+{
+    w.beginObject("stats");
+    root_.dumpJson(w);
+    w.endObject();
+}
+
+std::string
+StatsRegistry::dumpJsonString() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "pgss-stats");
+    w.field("schema_version", std::uint64_t{schema_version});
+    dumpJson(w);
+    w.endObject();
+    return w.str();
+}
+
+const Stat *
+StatsRegistry::find(const std::string &path,
+                    std::size_t *element_index) const
+{
+    const Group *g = &root_;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = path.find('.', start);
+        const std::string part = path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        // Child group with this name: descend.
+        const Group *next = nullptr;
+        for (const auto &c : g->children())
+            if (c->name() == part)
+                next = c.get();
+        if (next && dot != std::string::npos) {
+            g = next;
+            start = dot + 1;
+            continue;
+        }
+        // Otherwise it must name a stat of the current group.
+        for (const Stat &s : g->stats()) {
+            if (s.name != part)
+                continue;
+            if (s.kind == StatKind::Vector) {
+                if (dot == std::string::npos)
+                    return nullptr; // vector needs an element name
+                const std::string elem = path.substr(dot + 1);
+                for (std::size_t i = 0; i < s.elements.size(); ++i) {
+                    if (s.elements[i] == elem) {
+                        *element_index = i;
+                        return &s;
+                    }
+                }
+                return nullptr;
+            }
+            if (dot != std::string::npos)
+                return nullptr; // trailing path after a scalar stat
+            *element_index = 0;
+            return &s;
+        }
+        return nullptr;
+    }
+}
+
+std::optional<std::uint64_t>
+StatsRegistry::counterValue(const std::string &path) const
+{
+    std::size_t idx = 0;
+    const Stat *s = find(path, &idx);
+    if (!s || s->kind != StatKind::Counter)
+        return std::nullopt;
+    return s->counter();
+}
+
+std::optional<double>
+StatsRegistry::value(const std::string &path) const
+{
+    std::size_t idx = 0;
+    const Stat *s = find(path, &idx);
+    if (!s)
+        return std::nullopt;
+    switch (s->kind) {
+      case StatKind::Counter:
+        return static_cast<double>(s->counter());
+      case StatKind::Scalar:
+      case StatKind::Formula:
+        return s->scalar();
+      case StatKind::Vector:
+        return s->vec().at(idx);
+    }
+    return std::nullopt;
+}
+
+} // namespace pgss::obs

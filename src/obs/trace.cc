@@ -1,0 +1,176 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace pgss::obs
+{
+
+namespace
+{
+
+std::unique_ptr<TraceSink> g_sink;
+
+} // anonymous namespace
+
+double
+wallSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::ModeSwitch:
+        return "mode_switch";
+      case TraceKind::PhaseClassified:
+        return "phase";
+      case TraceKind::SampleOpen:
+        return "sample_open";
+      case TraceKind::SampleClose:
+        return "sample_close";
+      case TraceKind::CheckpointSave:
+        return "ckpt_save";
+      case TraceKind::CheckpointRestore:
+        return "ckpt_restore";
+      case TraceKind::ThresholdAdjust:
+        return "threshold";
+    }
+    return "unknown";
+}
+
+TraceSink::TraceSink(const std::string &path, std::size_t capacity)
+    : path_(path), ring_(capacity ? capacity : 1), t0_(wallSeconds())
+{
+    if (!path_.empty()) {
+        file_ = std::fopen(path_.c_str(), "w");
+        if (!file_)
+            util::warn("trace: cannot open '%s'; tracing to memory "
+                       "only",
+                       path_.c_str());
+    }
+}
+
+TraceSink::~TraceSink()
+{
+    flush();
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceSink::emit(TraceKind kind, std::uint64_t op, std::uint32_t id,
+                std::uint64_t aux, double value)
+{
+    if (count_ == ring_.size()) {
+        if (file_) {
+            drainToFile();
+        } else {
+            // Memory-only: overwrite the oldest event.
+            --count_;
+            ++dropped_;
+        }
+    }
+    TraceEvent &e = ring_[head_];
+    e.wall = wallSeconds() - t0_;
+    e.op = op;
+    e.aux = aux;
+    e.value = value;
+    e.id = id;
+    e.kind = kind;
+    head_ = (head_ + 1) % ring_.size();
+    ++count_;
+    ++emitted_;
+}
+
+void
+TraceSink::writeEvent(const TraceEvent &e)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("t", e.wall);
+    w.field("op", e.op);
+    w.field("ev", traceKindName(e.kind));
+    switch (e.kind) {
+      case TraceKind::ModeSwitch:
+        w.field("mode", std::uint64_t{e.id});
+        break;
+      case TraceKind::PhaseClassified:
+        w.field("phase", std::uint64_t{e.id});
+        w.field("created", (e.aux & 1) != 0);
+        w.field("changed", (e.aux & 2) != 0);
+        w.field("angle", e.value);
+        break;
+      case TraceKind::SampleOpen:
+        break;
+      case TraceKind::SampleClose:
+        w.field("phase", std::uint64_t{e.id});
+        w.field("cpi", e.value);
+        break;
+      case TraceKind::CheckpointSave:
+      case TraceKind::CheckpointRestore:
+        break;
+      case TraceKind::ThresholdAdjust:
+        w.field("threshold", e.value);
+        break;
+    }
+    w.endObject();
+    std::fputs(w.str().c_str(), file_);
+    std::fputc('\n', file_);
+}
+
+void
+TraceSink::drainToFile()
+{
+    if (!file_)
+        return;
+    const std::size_t start =
+        (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i)
+        writeEvent(ring_[(start + i) % ring_.size()]);
+    count_ = 0;
+}
+
+void
+TraceSink::flush()
+{
+    if (!file_)
+        return;
+    drainToFile();
+    std::fflush(file_);
+}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    const std::size_t start =
+        (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+TraceSink *
+traceSink()
+{
+    return g_sink.get();
+}
+
+void
+setTraceSink(std::unique_ptr<TraceSink> sink)
+{
+    if (g_sink)
+        g_sink->flush();
+    g_sink = std::move(sink);
+}
+
+} // namespace pgss::obs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Structured event tracing: an opt-in JSONL stream of the decisions a
+ * sampled-simulation run makes — mode switches, phase classifications,
+ * sample windows, checkpoint traffic, threshold moves. Events are
+ * appended to a ring buffer of fixed-size PODs and serialized only on
+ * flush, so an enabled sink costs one struct write per event and a
+ * disabled sink costs exactly one predictable branch at each emission
+ * site (the global pointer null check). Emission sites are per-period
+ * and per-mode-switch, never per-instruction.
+ *
+ * Event schema (one JSON object per line; documented in DESIGN.md
+ * section 8):
+ *   {"t": <wall seconds since sink creation>, "op": <global op>,
+ *    "ev": "<kind>", ...kind-specific fields}
+ */
+
+#ifndef PGSS_OBS_TRACE_HH
+#define PGSS_OBS_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgss::obs
+{
+
+/** What happened. Values are stable schema identifiers. */
+enum class TraceKind : std::uint8_t
+{
+    ModeSwitch,        ///< id = SimMode index
+    PhaseClassified,   ///< id = phase, aux = created|changed bits
+    SampleOpen,        ///< detailed warm-up begins
+    SampleClose,       ///< id = phase credited, value = CPI
+    CheckpointSave,
+    CheckpointRestore,
+    ThresholdAdjust,   ///< value = new threshold (radians)
+};
+
+/** JSONL "ev" string for @p kind. */
+const char *traceKindName(TraceKind kind);
+
+/** One buffered event. POD so the ring buffer stays cache-friendly. */
+struct TraceEvent
+{
+    double wall = 0.0;      ///< seconds since sink creation
+    std::uint64_t op = 0;   ///< global instruction position
+    std::uint64_t aux = 0;  ///< kind-specific integer payload
+    double value = 0.0;     ///< kind-specific float payload
+    std::uint32_t id = 0;   ///< mode index / phase id
+    TraceKind kind = TraceKind::ModeSwitch;
+};
+
+/**
+ * Ring-buffered event writer. With an output path, the buffer drains
+ * to the file whenever it fills and at flush()/destruction. Without a
+ * path the sink is memory-only: the ring keeps the newest `capacity`
+ * events (oldest overwritten) for tests and in-process inspection.
+ */
+class TraceSink
+{
+  public:
+    /**
+     * @param path JSONL output file ("" = memory-only ring).
+     * @param capacity events buffered before a drain / ring size.
+     */
+    explicit TraceSink(const std::string &path,
+                       std::size_t capacity = 4096);
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Append one event (drains to file when the buffer fills). */
+    void emit(TraceKind kind, std::uint64_t op, std::uint32_t id = 0,
+              std::uint64_t aux = 0, double value = 0.0);
+
+    /** Drain buffered events to the file (no-op when memory-only). */
+    void flush();
+
+    /** Events emitted over the sink's lifetime. */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Events lost to ring overwrite (memory-only sinks). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Buffered events in emission order (memory-only inspection;
+     * file-backed sinks only hold the undrained tail).
+     */
+    std::vector<TraceEvent> events() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void drainToFile();
+    void writeEvent(const TraceEvent &e);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;  ///< next write slot
+    std::size_t count_ = 0; ///< valid events in the ring
+    std::uint64_t emitted_ = 0;
+    std::uint64_t dropped_ = 0;
+    double t0_ = 0.0;
+};
+
+/** The process-wide sink, or nullptr when tracing is off. */
+TraceSink *traceSink();
+
+/**
+ * Install (or, with nullptr, remove) the process-wide sink. The
+ * previous sink is flushed and destroyed.
+ */
+void setTraceSink(std::unique_ptr<TraceSink> sink);
+
+/** Monotonic wall-clock seconds (steady clock). */
+double wallSeconds();
+
+} // namespace pgss::obs
+
+#endif // PGSS_OBS_TRACE_HH

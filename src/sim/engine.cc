@@ -1,5 +1,10 @@
 #include "sim/engine.hh"
 
+#include <string>
+
+#include "obs/perf.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
@@ -22,6 +27,22 @@ modeName(SimMode mode)
     return "unknown";
 }
 
+const char *
+modeStatName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::FunctionalFast:
+        return "functional_fast";
+      case SimMode::FunctionalWarm:
+        return "functional_warm";
+      case SimMode::DetailedWarm:
+        return "detailed_warm";
+      case SimMode::DetailedMeasure:
+        return "detailed_measure";
+    }
+    return "unknown";
+}
+
 SimulationEngine::SimulationEngine(const isa::Program &program,
                                    const EngineConfig &config)
     : program_(program), config_(config),
@@ -38,6 +59,13 @@ SimulationEngine::SimulationEngine(const isa::Program &program,
     branch_unit_ = std::make_unique<timing::BranchUnit>(config.branch);
     pipeline_ = std::make_unique<timing::InOrderPipeline>(
         config.pipeline, *hierarchy_, *branch_unit_);
+
+    // Per-mode host timers are process-global so every engine (and
+    // there are many per bench) accumulates into the same trajectory.
+    for (int m = 0; m < 4; ++m)
+        mode_perf_[m] = obs::perf().handle(
+            std::string("mode.") +
+            modeStatName(static_cast<SimMode>(m)));
 }
 
 void
@@ -107,8 +135,16 @@ SimulationEngine::run(std::uint64_t n, SimMode mode)
         pipeline_->resync();
     last_was_detailed_ = detailed;
 
+    if (static_cast<int>(mode) != last_mode_) {
+        last_mode_ = static_cast<int>(mode);
+        if (obs::TraceSink *t = obs::traceSink())
+            t->emit(obs::TraceKind::ModeSwitch, core_->retired(),
+                    static_cast<std::uint32_t>(mode));
+    }
+
     const bool bbv = hashed_bbv_enabled_ || full_bbv_enabled_;
     const std::uint64_t cycles_before = pipeline_->cycles();
+    const double wall_before = obs::wallSeconds();
 
     std::uint64_t done = 0;
     switch (mode) {
@@ -131,6 +167,9 @@ SimulationEngine::run(std::uint64_t n, SimMode mode)
         mode_ops_.detailed_measure += done;
         break;
     }
+
+    mode_perf_[static_cast<int>(mode)]->add(
+        done, obs::wallSeconds() - wall_before);
 
     return {done, pipeline_->cycles() - cycles_before};
 }
@@ -180,6 +219,55 @@ SimulationEngine::harvestFullBbv()
     return full_bbv_.harvest();
 }
 
+void
+SimulationEngine::registerStats(obs::Group &parent) const
+{
+    obs::Group &g =
+        parent.child("engine", "mode-switching simulation engine");
+    g.addCounter("total_ops", "instructions retired, all modes",
+                 [this] { return core_->retired(); });
+    g.addCounter("cycles", "detailed-mode cycles",
+                 [this] { return pipeline_->cycles(); });
+    g.addVector(
+        "mode_ops", "instructions executed per mode",
+        {modeStatName(SimMode::FunctionalFast),
+         modeStatName(SimMode::FunctionalWarm),
+         modeStatName(SimMode::DetailedWarm),
+         modeStatName(SimMode::DetailedMeasure)},
+        [this] {
+            return std::vector<double>{
+                static_cast<double>(mode_ops_.functional_fast),
+                static_cast<double>(mode_ops_.functional_warm),
+                static_cast<double>(mode_ops_.detailed_warm),
+                static_cast<double>(mode_ops_.detailed_measure)};
+        });
+    // Exact per-mode counters alongside the vector view: the report
+    // contract is that these match ModeOps to the op.
+    g.addCounter("ops_functional_fast", "ops in functional-fast",
+                 [this] { return mode_ops_.functional_fast; });
+    g.addCounter("ops_functional_warm", "ops in functional-warm",
+                 [this] { return mode_ops_.functional_warm; });
+    g.addCounter("ops_detailed_warm", "ops in detailed-warm",
+                 [this] { return mode_ops_.detailed_warm; });
+    g.addCounter("ops_detailed_measure", "ops in detailed-measure",
+                 [this] { return mode_ops_.detailed_measure; });
+    g.addFormula("detailed_fraction",
+                 "share of ops simulated with full timing",
+                 [this] {
+                     const std::uint64_t total = mode_ops_.total();
+                     return total ? static_cast<double>(
+                                        mode_ops_.detailed()) /
+                                        static_cast<double>(total)
+                                  : 0.0;
+                 });
+
+    hierarchy_->registerStats(g);
+    branch_unit_->registerStats(
+        g.child("branch", "front-end branch machinery"));
+    pipeline_->registerStats(
+        g.child("pipeline", "in-order timing model"));
+}
+
 Checkpoint
 SimulationEngine::checkpoint() const
 {
@@ -192,6 +280,8 @@ SimulationEngine::checkpoint() const
     c.memory_words_ = memory_->words();
     c.hierarchy_ = hierarchy_->state();
     c.branch_ = branch_unit_->state();
+    if (obs::TraceSink *t = obs::traceSink())
+        t->emit(obs::TraceKind::CheckpointSave, core_->retired());
     return c;
 }
 
@@ -213,6 +303,8 @@ SimulationEngine::restore(const Checkpoint &ckpt)
     last_was_detailed_ = false;
     hashed_bbv_.reset();
     full_bbv_.reset();
+    if (obs::TraceSink *t = obs::traceSink())
+        t->emit(obs::TraceKind::CheckpointRestore, core_->retired());
 }
 
 } // namespace pgss::sim

@@ -21,6 +21,7 @@
 #ifndef PGSS_SIM_ENGINE_HH
 #define PGSS_SIM_ENGINE_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -33,6 +34,12 @@
 #include "mem/main_memory.hh"
 #include "timing/branch_unit.hh"
 #include "timing/in_order_pipeline.hh"
+
+namespace pgss::obs
+{
+class Group;
+struct PerfHandle;
+}
 
 namespace pgss::sim
 {
@@ -50,6 +57,9 @@ enum class SimMode : std::uint8_t
 
 /** Human-readable mode name. */
 const char *modeName(SimMode mode);
+
+/** Stats/report identifier ("functional_fast", ...). */
+const char *modeStatName(SimMode mode);
 
 /** Instructions executed in each mode. */
 struct ModeOps
@@ -120,6 +130,14 @@ class SimulationEngine
     /** Per-mode instruction accounting. */
     const ModeOps &modeOps() const { return mode_ops_; }
 
+    /**
+     * Register this engine's counters (per-mode ops, totals, cycles)
+     * and its components' groups (l1i/l1d/l2, branch, pipeline) into
+     * @p parent. The engine must outlive every dump of the enclosing
+     * registry.
+     */
+    void registerStats(obs::Group &parent) const;
+
     /** Enable/disable the hashed (PGSS) BBV tracker. */
     void setHashedBbvEnabled(bool enabled);
 
@@ -174,6 +192,11 @@ class SimulationEngine
     bool last_was_detailed_ = false;
 
     ModeOps mode_ops_;
+
+    // Host-side instrumentation: one global perf handle per mode
+    // (resolved once here) and the last mode run, for trace events.
+    std::array<obs::PerfHandle *, 4> mode_perf_{};
+    int last_mode_ = -1;
 
     friend class Checkpoint;
 };

@@ -1,6 +1,7 @@
 #include "timing/branch_unit.hh"
 
 #include "isa/program.hh"
+#include "obs/stats.hh"
 
 namespace pgss::timing
 {
@@ -36,6 +37,7 @@ BranchUnit::predictAndTrain(const cpu::DynInst &rec)
         if (rec.taken)
             btb_.update(pc_addr, target_addr);
     } else if (rec.is_jump) {
+        ++stats_.jumps;
         const bool is_call =
             rec.op == isa::Opcode::Jal && rec.rd == config_.link_reg;
         const bool is_return =
@@ -45,6 +47,8 @@ BranchUnit::predictAndTrain(const cpu::DynInst &rec)
             // Returns are predicted through the RAS.
             const std::uint64_t pred = ras_.pop();
             mispredict = pred != target_addr;
+            if (mispredict)
+                ++stats_.ras_mispredicts;
         } else {
             std::uint64_t pred_target = 0;
             if (!btb_.lookup(pc_addr, pred_target) ||
@@ -64,6 +68,43 @@ BranchUnit::predictAndTrain(const cpu::DynInst &rec)
     if (mispredict)
         ++stats_.mispredicts;
     return mispredict;
+}
+
+void
+BranchUnit::registerStats(obs::Group &group) const
+{
+    group.addCounter("lookups", "conditional branches predicted",
+                     [this] { return stats_.branches; });
+    group.addCounter("jumps", "unconditional transfers predicted",
+                     [this] { return stats_.jumps; });
+    group.addCounter("mispredicts",
+                     "wrong direction or wrong/missing target",
+                     [this] { return stats_.mispredicts; });
+    group.addCounter("taken", "taken control transfers",
+                     [this] { return stats_.taken; });
+    group.addFormula("mispredict_ratio",
+                     "mispredicts / conditional branches",
+                     [this] { return stats_.mispredictRatio(); });
+
+    obs::Group &btb = group.child("btb", "branch target buffer");
+    btb.addCounter("lookups", "BTB lookups",
+                   [this] { return btb_.stats().lookups; });
+    btb.addCounter("hits", "BTB tag hits",
+                   [this] { return btb_.stats().hits; });
+    btb.addFormula("hit_ratio", "hits / lookups",
+                   [this] { return btb_.stats().hitRatio(); });
+
+    obs::Group &ras = group.child("ras", "return address stack");
+    ras.addCounter("pushes", "calls pushed",
+                   [this] { return ras_.stats().pushes; });
+    ras.addCounter("pops", "returns predicted",
+                   [this] { return ras_.stats().pops; });
+    ras.addCounter("overflows", "pushes that wrapped a full stack",
+                   [this] { return ras_.stats().overflows; });
+    ras.addCounter("underflows", "pops of an empty stack",
+                   [this] { return ras_.stats().underflows; });
+    ras.addCounter("mispredicts", "returns the RAS got wrong",
+                   [this] { return stats_.ras_mispredicts; });
 }
 
 void

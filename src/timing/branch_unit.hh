@@ -16,6 +16,11 @@
 #include "branch/predictor.hh"
 #include "cpu/dyn_inst.hh"
 
+namespace pgss::obs
+{
+class Group;
+}
+
 namespace pgss::timing
 {
 
@@ -34,8 +39,10 @@ struct BranchUnitConfig
 struct BranchStats
 {
     std::uint64_t branches = 0;      ///< conditional branches seen
+    std::uint64_t jumps = 0;         ///< unconditional transfers seen
     std::uint64_t mispredicts = 0;   ///< direction or target wrong
     std::uint64_t taken = 0;         ///< taken control transfers
+    std::uint64_t ras_mispredicts = 0; ///< returns the RAS got wrong
 
     /** Misprediction ratio over conditional branches. */
     double
@@ -69,6 +76,13 @@ class BranchUnit
 
     /** Reset statistics (tables retained). */
     void clearStats() { stats_ = BranchStats(); }
+
+    /**
+     * Register predictor counters into @p group plus "btb"/"ras"
+     * child groups. The unit must outlive dumps of the enclosing
+     * registry.
+     */
+    void registerStats(obs::Group &group) const;
 
     /** Reset all tables to power-on state. */
     void reset();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "isa/program.hh"
+#include "obs/stats.hh"
 
 namespace pgss::timing
 {
@@ -70,31 +71,76 @@ InOrderPipeline::consume(const cpu::DynInst &rec)
             fetch_ready_ = std::max(fetch_ready_, cur_cycle_) + fetch_lat;
     }
 
-    // ---- Issue: in-order, width-limited, operands ready.
-    std::uint64_t issue = std::max(fetch_ready_, cur_cycle_);
-    if (rec.reads_rs1)
-        issue = std::max(issue, reg_ready_[rec.rs1]);
-    if (rec.reads_rs2)
-        issue = std::max(issue, reg_ready_[rec.rs2]);
+    // ---- Issue: in-order, width-limited, operands ready. Track
+    // which constraint last raised the issue cycle so stalls can be
+    // attributed to their binding cause.
+    enum class Stall : std::uint8_t
+    {
+        None,
+        Fetch,
+        Operand,
+        Div,
+        StoreBuffer,
+        Width
+    };
+    Stall cause = Stall::None;
+    std::uint64_t issue = cur_cycle_;
+    if (fetch_ready_ > issue) {
+        issue = fetch_ready_;
+        cause = Stall::Fetch;
+    }
+    if (rec.reads_rs1 && reg_ready_[rec.rs1] > issue) {
+        issue = reg_ready_[rec.rs1];
+        cause = Stall::Operand;
+    }
+    if (rec.reads_rs2 && reg_ready_[rec.rs2] > issue) {
+        issue = reg_ready_[rec.rs2];
+        cause = Stall::Operand;
+    }
 
     // Structural hazard: unpipelined divide units.
-    if (rec.op_class == isa::OpClass::IntDiv)
-        issue = std::max(issue, int_div_busy_until_);
-    else if (rec.op_class == isa::OpClass::FpDiv)
-        issue = std::max(issue, fp_div_busy_until_);
+    if (rec.op_class == isa::OpClass::IntDiv &&
+        int_div_busy_until_ > issue) {
+        issue = int_div_busy_until_;
+        cause = Stall::Div;
+    } else if (rec.op_class == isa::OpClass::FpDiv &&
+               fp_div_busy_until_ > issue) {
+        issue = fp_div_busy_until_;
+        cause = Stall::Div;
+    }
 
     // Structural hazard: full store buffer.
     if (rec.is_store) {
         const std::uint64_t oldest = store_buffer_[store_buffer_head_];
         if (oldest > issue) {
             issue = oldest;
+            cause = Stall::StoreBuffer;
             ++stats_.store_buffer_stalls;
         }
     }
 
-    if (issue == cur_cycle_ && issued_this_cycle_ >= config_.width)
+    if (issue == cur_cycle_ && issued_this_cycle_ >= config_.width) {
         issue = cur_cycle_ + 1;
+        cause = Stall::Width;
+    }
     if (issue > cur_cycle_) {
+        switch (cause) {
+          case Stall::Fetch:
+            ++stats_.fetch_stalls;
+            break;
+          case Stall::Operand:
+            ++stats_.operand_stalls;
+            break;
+          case Stall::Div:
+            ++stats_.div_stalls;
+            break;
+          case Stall::Width:
+            ++stats_.width_stalls;
+            break;
+          case Stall::StoreBuffer: // counted above
+          case Stall::None:
+            break;
+        }
         cur_cycle_ = issue;
         issued_this_cycle_ = 0;
     }
@@ -138,6 +184,54 @@ InOrderPipeline::consume(const cpu::DynInst &rec)
     }
 
     ++stats_.instructions;
+}
+
+void
+InOrderPipeline::registerStats(obs::Group &group) const
+{
+    group.addCounter("instructions", "instructions timed",
+                     [this] { return stats_.instructions; });
+    group.addCounter("cycles", "cycles advanced",
+                     [this] { return cur_cycle_; });
+    group.addCounter("mispredicts", "mispredict bubbles charged",
+                     [this] { return stats_.mispredicts; });
+    group.addCounter("icache_line_fetches", "new I-cache lines fetched",
+                     [this] { return stats_.icache_line_fetches; });
+    group.addFormula("ipc", "instructions per cycle",
+                     [this] {
+                         return cur_cycle_
+                                    ? static_cast<double>(
+                                          stats_.instructions) /
+                                          static_cast<double>(
+                                              cur_cycle_)
+                                    : 0.0;
+                     });
+    group.addFormula("issue_occupancy",
+                     "fraction of issue slots filled",
+                     [this] {
+                         const double slots =
+                             static_cast<double>(cur_cycle_) *
+                             config_.width;
+                         return slots > 0.0
+                                    ? static_cast<double>(
+                                          stats_.instructions) /
+                                          slots
+                                    : 0.0;
+                     });
+
+    obs::Group &stalls =
+        group.child("stalls", "issue-delay attribution (binding "
+                              "constraint per delayed instruction)");
+    stalls.addCounter("fetch", "I-cache miss gated issue",
+                      [this] { return stats_.fetch_stalls; });
+    stalls.addCounter("operand", "source register not ready",
+                      [this] { return stats_.operand_stalls; });
+    stalls.addCounter("div", "unpipelined divider busy",
+                      [this] { return stats_.div_stalls; });
+    stalls.addCounter("store_buffer", "store buffer full",
+                      [this] { return stats_.store_buffer_stalls; });
+    stalls.addCounter("width", "issue width exhausted",
+                      [this] { return stats_.width_stalls; });
 }
 
 } // namespace pgss::timing

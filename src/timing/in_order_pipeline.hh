@@ -23,6 +23,11 @@
 #include "mem/hierarchy.hh"
 #include "timing/branch_unit.hh"
 
+namespace pgss::obs
+{
+class Group;
+}
+
 namespace pgss::timing
 {
 
@@ -45,13 +50,24 @@ struct PipelineConfig
     std::uint32_t bytes_per_inst = 4;    ///< for I-cache line mapping
 };
 
-/** Counters the detailed model accumulates. */
+/**
+ * Counters the detailed model accumulates. The stall counters
+ * attribute each instruction whose issue slipped past the current
+ * cycle to the binding constraint (checked in the order fetch,
+ * operands, divider, store buffer, width), so they sum to the number
+ * of issue-delayed instructions.
+ */
 struct PipelineStats
 {
     std::uint64_t instructions = 0;
     std::uint64_t mispredicts = 0;
     std::uint64_t icache_line_fetches = 0;
     std::uint64_t store_buffer_stalls = 0;
+
+    std::uint64_t fetch_stalls = 0;   ///< I-cache miss gated issue
+    std::uint64_t operand_stalls = 0; ///< source register not ready
+    std::uint64_t div_stalls = 0;     ///< unpipelined divider busy
+    std::uint64_t width_stalls = 0;   ///< issue width exhausted
 };
 
 /**
@@ -90,6 +106,13 @@ class InOrderPipeline
 
     /** Reset statistics (timing state retained). */
     void clearStats() { stats_ = PipelineStats(); }
+
+    /**
+     * Register instruction/cycle counters, the stall-cause breakdown,
+     * and ipc/issue-occupancy formulas into @p group. The pipeline
+     * must outlive dumps of the enclosing registry.
+     */
+    void registerStats(obs::Group &group) const;
 
     const PipelineConfig &config() const { return config_; }
 

@@ -1,7 +1,15 @@
 #include "util/logging.hh"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/env.hh"
 
 namespace pgss::util
 {
@@ -9,34 +17,108 @@ namespace pgss::util
 namespace
 {
 
-LogLevel global_level = LogLevel::Normal;
+// Anchored during static initialization, before main() runs, so the
+// first message's stamp reflects real elapsed time — a function-local
+// static would start the clock at the first log call instead.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
 
+LogLevel
+initialLevel()
+{
+    return parseLogLevel(envString("PGSS_LOG_LEVEL", ""),
+                         LogLevel::Normal);
+}
+
+std::atomic<LogLevel> &
+globalLevel()
+{
+    static std::atomic<LogLevel> level{initialLevel()};
+    return level;
+}
+
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/**
+ * Format the whole line ("[ elapsed] tag: message\n") into one buffer
+ * and write it with a single fwrite under the mutex, so concurrent
+ * messages interleave at line granularity only.
+ */
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    char head[48];
+    const int head_len =
+        std::snprintf(head, sizeof(head), "[%9.3f] %s: ",
+                      elapsedSeconds(), tag);
+
+    va_list probe;
+    va_copy(probe, ap);
+    const int body_len = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (body_len < 0)
+        return;
+
+    std::vector<char> line(static_cast<std::size_t>(head_len) +
+                           static_cast<std::size_t>(body_len) + 2);
+    std::memcpy(line.data(), head, static_cast<std::size_t>(head_len));
+    std::vsnprintf(line.data() + head_len,
+                   static_cast<std::size_t>(body_len) + 1, fmt, ap);
+    line[line.size() - 2] = '\n';
+    line[line.size() - 1] = '\0';
+
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size() - 1, stderr);
+    std::fflush(stderr);
 }
 
 } // anonymous namespace
 
+double
+elapsedSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - g_process_start)
+        .count();
+}
+
+LogLevel
+parseLogLevel(const std::string &spec, LogLevel def)
+{
+    std::string s;
+    for (const char c : spec)
+        s += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (s == "quiet" || s == "0")
+        return LogLevel::Quiet;
+    if (s == "normal" || s == "1")
+        return LogLevel::Normal;
+    if (s == "verbose" || s == "2")
+        return LogLevel::Verbose;
+    return def;
+}
+
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    globalLevel().store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return globalLevel().load(std::memory_order_relaxed);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (global_level == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -47,7 +129,7 @@ inform(const char *fmt, ...)
 void
 verbose(const char *fmt, ...)
 {
-    if (global_level != LogLevel::Verbose)
+    if (logLevel() != LogLevel::Verbose)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -58,7 +140,7 @@ verbose(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (global_level == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -4,6 +4,13 @@
  * status, warn() for suspicious-but-survivable conditions, fatal() for
  * user errors that end the run, and panic() for internal invariant
  * violations (aborts, so a debugger or core dump can catch it).
+ *
+ * The global level is atomic and each message is formatted into one
+ * buffer and written under a mutex, so concurrent callers never shear
+ * each other's lines. Messages carry the elapsed wall-clock time since
+ * process start ("[  12.345] info: ..."). The initial level comes from
+ * the PGSS_LOG_LEVEL environment variable ("quiet"/"normal"/"verbose"
+ * or 0/1/2); setLogLevel() overrides it.
  */
 
 #ifndef PGSS_UTIL_LOGGING_HH
@@ -28,6 +35,16 @@ void setLogLevel(LogLevel level);
 
 /** Current global verbosity. */
 LogLevel logLevel();
+
+/**
+ * Parse a PGSS_LOG_LEVEL-style spec: "quiet"/"normal"/"verbose"
+ * (case-insensitive) or "0"/"1"/"2". Unrecognised input yields
+ * @p def.
+ */
+LogLevel parseLogLevel(const std::string &spec, LogLevel def);
+
+/** Seconds of wall-clock time since process start (message prefix). */
+double elapsedSeconds();
 
 /**
  * Print an informational status message to stderr.

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * End-to-end observability tests over a real PGSS run: the stats
+ * registry's per-mode op counters must equal the engine's ModeOps
+ * accounting exactly, controller counters must match the PgssResult,
+ * and the trace stream must tell a consistent story (ordering,
+ * sample open/close pairing).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pgss_controller.hh"
+#include "helpers.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "sim/engine.hh"
+
+using namespace pgss;
+
+TEST(ObsIntegration, PerModeCountersMatchModeOpsExactly)
+{
+    const workload::BuiltWorkload built = test::twoPhaseWorkload();
+    sim::SimulationEngine engine(built.program);
+    obs::StatsRegistry reg;
+    engine.registerStats(reg.root());
+
+    core::PgssConfig config;
+    config.bbv_period = 100'000;
+    const core::PgssResult result =
+        core::PgssController(config).run(engine);
+    const sim::ModeOps &ops = engine.modeOps();
+
+    // The report contract: registry counters equal ModeOps to the op.
+    EXPECT_EQ(*reg.counterValue("engine.ops_functional_fast"),
+              ops.functional_fast);
+    EXPECT_EQ(*reg.counterValue("engine.ops_functional_warm"),
+              ops.functional_warm);
+    EXPECT_EQ(*reg.counterValue("engine.ops_detailed_warm"),
+              ops.detailed_warm);
+    EXPECT_EQ(*reg.counterValue("engine.ops_detailed_measure"),
+              ops.detailed_measure);
+
+    const std::uint64_t sum =
+        *reg.counterValue("engine.ops_functional_fast") +
+        *reg.counterValue("engine.ops_functional_warm") +
+        *reg.counterValue("engine.ops_detailed_warm") +
+        *reg.counterValue("engine.ops_detailed_measure");
+    EXPECT_EQ(sum, ops.total());
+    EXPECT_EQ(sum, result.mode_ops.total());
+    EXPECT_EQ(*reg.counterValue("engine.total_ops"),
+              engine.totalOps());
+    EXPECT_EQ(sum, engine.totalOps());
+
+    // The vector view agrees with the exact counters.
+    EXPECT_DOUBLE_EQ(*reg.value("engine.mode_ops.functional_warm"),
+                     static_cast<double>(ops.functional_warm));
+    EXPECT_DOUBLE_EQ(*reg.value("engine.mode_ops.detailed_measure"),
+                     static_cast<double>(ops.detailed_measure));
+}
+
+TEST(ObsIntegration, HierarchyBranchPipelineAndControllerStats)
+{
+    const workload::BuiltWorkload built = test::twoPhaseWorkload();
+    sim::SimulationEngine engine(built.program);
+    obs::StatsRegistry reg;
+    core::PgssConfig config;
+    config.bbv_period = 100'000;
+    core::PgssController controller(config);
+    engine.registerStats(reg.root());
+    controller.registerStats(reg.root());
+    const core::PgssResult result = controller.run(engine);
+
+    // Caches warmed and exercised by functional warming + samples.
+    EXPECT_GT(*reg.counterValue("engine.l1d.misses"), 0u);
+    EXPECT_GT(*reg.value("engine.l1d.miss_ratio"), 0.0);
+    EXPECT_GT(*reg.counterValue("engine.branch.lookups"), 0u);
+    EXPECT_GT(*reg.counterValue("engine.branch.btb.lookups"), 0u);
+    EXPECT_GT(*reg.counterValue("engine.pipeline.instructions"), 0u);
+    EXPECT_GT(*reg.value("engine.pipeline.ipc"), 0.0);
+    EXPECT_LE(*reg.value("engine.pipeline.issue_occupancy"), 1.0);
+
+    // Detailed instructions == detailed-mode ops (pipeline only ever
+    // consumes in the two detailed modes).
+    EXPECT_EQ(*reg.counterValue("engine.pipeline.instructions"),
+              engine.modeOps().detailed());
+
+    // Controller counters mirror the result.
+    EXPECT_EQ(*reg.counterValue("pgss.samples"), result.n_samples);
+    EXPECT_EQ(*reg.counterValue("pgss.phases"), result.n_phases);
+    EXPECT_GT(*reg.counterValue("pgss.periods"), 0u);
+    EXPECT_DOUBLE_EQ(*reg.value("pgss.threshold"),
+                     result.final_threshold);
+}
+
+TEST(ObsIntegration, TraceStreamIsOrderedAndPaired)
+{
+    obs::setTraceSink(
+        std::make_unique<obs::TraceSink>("", 1 << 16));
+
+    const workload::BuiltWorkload built = test::twoPhaseWorkload();
+    sim::SimulationEngine engine(built.program);
+    core::PgssConfig config;
+    config.bbv_period = 100'000;
+    const core::PgssResult result =
+        core::PgssController(config).run(engine);
+
+    const std::vector<obs::TraceEvent> events =
+        obs::traceSink()->events();
+    obs::setTraceSink(nullptr);
+
+    ASSERT_EQ(obs::traceSink(), nullptr);
+    ASSERT_FALSE(events.empty());
+
+    // First event is the initial mode switch into functional warming.
+    EXPECT_EQ(events[0].kind, obs::TraceKind::ModeSwitch);
+    EXPECT_EQ(events[0].id,
+              static_cast<std::uint32_t>(
+                  sim::SimMode::FunctionalWarm));
+
+    std::uint64_t opens = 0, closes = 0, phases = 0;
+    std::uint64_t last_op = 0;
+    bool open_pending = false;
+    for (const obs::TraceEvent &e : events) {
+        // Op positions never move backwards.
+        EXPECT_GE(e.op, last_op);
+        last_op = e.op;
+        switch (e.kind) {
+          case obs::TraceKind::SampleOpen:
+            EXPECT_FALSE(open_pending);
+            open_pending = true;
+            ++opens;
+            break;
+          case obs::TraceKind::SampleClose:
+            EXPECT_TRUE(open_pending);
+            open_pending = false;
+            ++closes;
+            EXPECT_GT(e.value, 0.0); // measured CPI
+            break;
+          case obs::TraceKind::PhaseClassified:
+            ++phases;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(closes, result.n_samples);
+    EXPECT_GE(opens, closes);
+    EXPECT_GT(phases, 0u);
+}

@@ -52,3 +52,42 @@ TEST(Logging, InformAndWarnDoNotCrashAtAnyLevel)
     setLogLevel(before);
     SUCCEED();
 }
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndDigits)
+{
+    EXPECT_EQ(parseLogLevel("quiet", LogLevel::Normal),
+              LogLevel::Quiet);
+    EXPECT_EQ(parseLogLevel("normal", LogLevel::Quiet),
+              LogLevel::Normal);
+    EXPECT_EQ(parseLogLevel("verbose", LogLevel::Normal),
+              LogLevel::Verbose);
+    EXPECT_EQ(parseLogLevel("0", LogLevel::Normal), LogLevel::Quiet);
+    EXPECT_EQ(parseLogLevel("1", LogLevel::Quiet), LogLevel::Normal);
+    EXPECT_EQ(parseLogLevel("2", LogLevel::Normal),
+              LogLevel::Verbose);
+}
+
+TEST(Logging, ParseLogLevelIsCaseInsensitive)
+{
+    EXPECT_EQ(parseLogLevel("QUIET", LogLevel::Normal),
+              LogLevel::Quiet);
+    EXPECT_EQ(parseLogLevel("Verbose", LogLevel::Normal),
+              LogLevel::Verbose);
+}
+
+TEST(Logging, ParseLogLevelFallsBackOnGarbage)
+{
+    EXPECT_EQ(parseLogLevel("", LogLevel::Normal), LogLevel::Normal);
+    EXPECT_EQ(parseLogLevel("loud", LogLevel::Quiet),
+              LogLevel::Quiet);
+    EXPECT_EQ(parseLogLevel("3", LogLevel::Verbose),
+              LogLevel::Verbose);
+}
+
+TEST(Logging, ElapsedSecondsIsMonotonicNonNegative)
+{
+    const double a = elapsedSeconds();
+    const double b = elapsedSeconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+}
