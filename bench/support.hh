@@ -30,10 +30,12 @@ struct Entry
 };
 
 /**
- * Observability plumbing shared by every bench: parse and strip
- * --stats-json=<path> / --trace-out=<path> (env PGSS_STATS_JSON /
- * PGSS_TRACE_OUT), install the trace sink, and stamp the report with
- * the figure id and workload scale. Call first thing in main().
+ * Observability plumbing shared by every bench: parse and strip the
+ * obs flags (--stats-json= / --trace-out= / --timelines /
+ * --timeline-interval= / --timeline-out=, see obs::parseObsFlags),
+ * install the trace sink and timeline recorder, register the
+ * abnormal-exit flush handlers, and stamp the report with the figure
+ * id and workload scale. Call first thing in main().
  */
 void init(int &argc, char **argv, const std::string &figure_id);
 

@@ -1,9 +1,11 @@
 #include "core/pgss_controller.hh"
 
+#include <cmath>
 #include <limits>
 
 #include "bbv/bbv_math.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "stats/confidence.hh"
 #include "stats/stratified.hh"
@@ -58,6 +60,12 @@ PgssController::run(sim::SimulationEngine &engine)
         (config_.jitter_seed % 1024) / 1024.0;
 
     engine.setHashedBbvEnabled(true);
+
+    // Each controller run is one named timeline run: the period-by-
+    // period phase classifications and, per phase, the CI-convergence
+    // curve (one point per credited sample).
+    if (obs::TimelineRecorder *tl = obs::timelines())
+        tl->beginRun("pgss");
 
     const std::uint64_t win =
         config_.detailed_warmup + config_.detailed_sample;
@@ -130,6 +138,8 @@ PgssController::run(sim::SimulationEngine &engine)
                     (match.created ? 1u : 0u) |
                         (match.changed ? 2u : 0u),
                     match.angle_to_last);
+        if (obs::TimelineRecorder *tl = obs::timelines())
+            tl->recordPhase(engine.totalOps(), match.phase_id);
 
         // The sample inside this period is credited to the phase the
         // period was classified as.
@@ -151,6 +161,20 @@ PgssController::run(sim::SimulationEngine &engine)
         const bool converged = stats::withinConfidence(
             phase.cpi(), config_.confidence, config_.relative_error,
             config_.min_samples_per_phase);
+        // One convergence-curve point per credited sample: the curve
+        // of this phase's CI half-width closing (or not) over time.
+        if (have_sample) {
+            if (obs::TimelineRecorder *tl = obs::timelines()) {
+                const double mean = phase.cpi().mean();
+                const double hw = stats::ciHalfWidth(
+                    phase.cpi(), config_.confidence);
+                tl->recordConvergence(
+                    phase.id(), engine.totalOps(),
+                    phase.sampleCount(), mean,
+                    mean != 0.0 ? hw / std::abs(mean) : hw,
+                    converged);
+            }
+        }
         const bool spaced =
             !config_.spread_samples ||
             phase.sampleCount() == 0 ||

@@ -1,0 +1,610 @@
+#include "obs/analyze.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace pgss::obs
+{
+
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/** Map a phase id to a single timeline glyph (wraps after 62). */
+char
+phaseGlyph(std::uint64_t phase)
+{
+    static const char glyphs[] =
+        "0123456789abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    return glyphs[phase % (sizeof(glyphs) - 1)];
+}
+
+std::string
+fmtNum(double v)
+{
+    if (std::isnan(v))
+        return "n/a";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+flattenNumeric(const JsonValue &v, const std::string &prefix,
+               std::vector<std::pair<std::string, double>> &out)
+{
+    for (const auto &[key, member] : v.object) {
+        const std::string path =
+            prefix.empty() ? key : prefix + "." + key;
+        switch (member.kind) {
+          case JsonValue::Kind::Number:
+            out.emplace_back(path, member.number);
+            break;
+          case JsonValue::Kind::Null:
+            // The writer emits non-finite numbers as null.
+            out.emplace_back(path, kNan);
+            break;
+          case JsonValue::Kind::Object:
+            flattenNumeric(member, path, out);
+            break;
+          default:
+            break; // strings/bools/arrays are not comparable values
+        }
+    }
+}
+
+const JsonValue *
+timelinesSection(const LoadedReport &report)
+{
+    const JsonValue *tl = report.doc.get("timelines");
+    return tl && tl->isObject() ? tl : nullptr;
+}
+
+/** The "op" array of a series object as uint64s (empty when absent). */
+std::vector<std::uint64_t>
+opAxis(const JsonValue &obj)
+{
+    std::vector<std::uint64_t> out;
+    if (const JsonValue *op = obj.get("op"))
+        for (const JsonValue &v : op->array)
+            out.push_back(v.asUint());
+    return out;
+}
+
+void
+renderPhaseStrip(std::ostream &os, const JsonValue &timeline)
+{
+    const std::vector<std::uint64_t> ops = opAxis(timeline);
+    const JsonValue *phase = timeline.get("phase");
+    if (ops.empty() || !phase || phase->array.size() != ops.size()) {
+        os << "  (no phase timeline)\n";
+        return;
+    }
+    constexpr std::size_t kWidth = 64;
+    const std::uint64_t lo = ops.front();
+    const std::uint64_t hi = std::max(ops.back(), lo + 1);
+    std::string strip(kWidth, ' ');
+    // Paint in order so each column shows the latest phase that
+    // reached it; adjacent periods in the same phase form runs.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        std::size_t col = static_cast<std::size_t>(
+            static_cast<double>(ops[i] - lo) /
+            static_cast<double>(hi - lo) * (kWidth - 1));
+        strip[col] = phaseGlyph(phase->array[i].asUint());
+    }
+    // Fill gaps left of each painted column with its glyph so sparse
+    // timelines still read as contiguous phase intervals.
+    char run = strip[0] == ' ' ? '?' : strip[0];
+    for (std::size_t c = 0; c < kWidth; ++c) {
+        if (strip[c] == ' ')
+            strip[c] = run;
+        else
+            run = strip[c];
+    }
+    const JsonValue *periods = timeline.get("periods");
+    const JsonValue *stride = timeline.get("stride_periods");
+    os << "  phase |" << strip << "|\n";
+    os << "        op " << lo << " .. " << hi << "  ("
+       << (periods ? periods->asUint() : 0) << " periods, stride "
+       << (stride ? stride->asUint() : 0) << ")\n";
+}
+
+void
+renderConvergence(std::ostream &os, const std::string &phase_id,
+                  const JsonValue &curve)
+{
+    const std::vector<std::uint64_t> ops = opAxis(curve);
+    const JsonValue *samples = curve.get("samples");
+    const JsonValue *mean = curve.get("mean");
+    const JsonValue *ci = curve.get("ci_rel");
+    const JsonValue *closed = curve.get("closed");
+    if (ops.empty() || !samples || !mean || !ci || !closed)
+        return;
+
+    const std::size_t n = ops.size();
+    double ci_max = 0.0;
+    for (const JsonValue &v : ci->array) {
+        const double r = v.asNumber();
+        if (std::isfinite(r))
+            ci_max = std::max(ci_max, r);
+    }
+
+    // Show at most 16 evenly spaced points (always the last one): the
+    // series is already downsampled, this is purely display width.
+    constexpr std::size_t kShown = 16;
+    const std::size_t step = n <= kShown ? 1 : (n + kShown - 1) / kShown;
+
+    util::Table t("  phase " + phase_id + " CI convergence");
+    t.setHeader({"op", "n", "mean", "ci_rel", "", "state"});
+    for (std::size_t i = 0; i < n; i += step) {
+        if (i + step >= n && i + 1 != n)
+            i = n - 1; // snap the final row to the last point
+        const double rel = ci->array[i].asNumber();
+        std::string bar;
+        if (std::isfinite(rel) && ci_max > 0.0)
+            bar.assign(static_cast<std::size_t>(
+                           rel / ci_max * 20.0 + 0.5),
+                       '#');
+        t.addRow({std::to_string(ops[i]),
+                  std::to_string(samples->array[i].asUint()),
+                  fmtNum(mean->array[i].asNumber()),
+                  fmtNum(ci->array[i].asNumber()), bar,
+                  closed->array[i].asUint() ? "closed" : "open"});
+    }
+    t.print(os);
+}
+
+void
+checkAligned(const JsonValue &obj, const char *what,
+             std::size_t expect, const std::string &ctx,
+             CheckResult &res)
+{
+    const JsonValue *arr = obj.get(what);
+    if (!arr || !arr->isArray()) {
+        res.violations.push_back(ctx + ": missing array '" +
+                                 what + "'");
+        return;
+    }
+    if (arr->array.size() != expect)
+        res.violations.push_back(
+            ctx + ": '" + std::string(what) + "' has " +
+            std::to_string(arr->array.size()) + " points, op axis has " +
+            std::to_string(expect));
+}
+
+void
+checkMonotonic(const std::vector<std::uint64_t> &ops,
+               const std::string &ctx, bool strict, CheckResult &res)
+{
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+        if (ops[i] < ops[i - 1] || (strict && ops[i] == ops[i - 1])) {
+            res.violations.push_back(
+                ctx + ": op axis not monotonic at index " +
+                std::to_string(i) + " (" + std::to_string(ops[i - 1]) +
+                " -> " + std::to_string(ops[i]) + ")");
+            return;
+        }
+    }
+}
+
+} // anonymous namespace
+
+double
+LoadedReport::value(const std::string &want) const
+{
+    for (const auto &[path, v] : values)
+        if (path == want)
+            return v;
+    return kNan;
+}
+
+bool
+loadReportFromString(const std::string &text, LoadedReport &out,
+                     std::string *error)
+{
+    if (!parseJson(text, out.doc, error))
+        return false;
+    if (!out.doc.isObject()) {
+        if (error)
+            *error = "report document is not a JSON object";
+        return false;
+    }
+    if (const JsonValue *program = out.doc.get("program"))
+        out.program = program->string;
+    if (const JsonValue *partial = out.doc.get("partial"))
+        out.partial = partial->isBool() && partial->boolean;
+    out.values.clear();
+    for (const char *section : {"meta", "perf", "stats"})
+        if (const JsonValue *v = out.doc.get(section))
+            if (v->isObject())
+                flattenNumeric(*v, section, out.values);
+    return true;
+}
+
+bool
+loadReport(const std::string &path, LoadedReport &out,
+           std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    out.path = path;
+    return loadReportFromString(text.str(), out, error);
+}
+
+void
+renderReport(std::ostream &os, const LoadedReport &report)
+{
+    os << "run report: " << report.program;
+    if (!report.path.empty())
+        os << "  (" << report.path << ")";
+    os << "\n";
+    if (report.partial)
+        os << "  ** PARTIAL: the run exited abnormally; values below "
+              "cover only the completed portion **\n";
+
+    const JsonValue *perf = report.doc.get("perf");
+    if (perf && perf->isObject() && !perf->object.empty()) {
+        util::Table t("host perf");
+        t.setHeader({"mode", "calls", "ops", "seconds", "mips"});
+        for (const auto &entry : perf->object) {
+            const JsonValue &h = entry.second;
+            const JsonValue *calls = h.get("calls");
+            const JsonValue *ops = h.get("ops");
+            const JsonValue *seconds = h.get("seconds");
+            const JsonValue *mips = h.get("mips");
+            t.addRow({entry.first,
+                      util::Table::fmtCount(calls ? calls->asUint()
+                                                  : 0),
+                      util::Table::fmtCount(ops ? ops->asUint() : 0),
+                      fmtNum(seconds ? seconds->asNumber() : kNan),
+                      fmtNum(mips ? mips->asNumber() : kNan)});
+        }
+        t.print(os);
+        os << "\n";
+    }
+
+    // Stats flatten to dotted paths already; one table covers
+    // counters, scalars, formulas, and vector elements.
+    util::Table t("stats");
+    t.setHeader({"path", "value"});
+    for (const auto &[path, v] : report.values)
+        if (path.rfind("stats.", 0) == 0)
+            t.addRow({path.substr(6), fmtNum(v)});
+    if (t.rowCount()) {
+        t.print(os);
+        os << "\n";
+    }
+
+    renderTimelines(os, report);
+}
+
+void
+renderTimelines(std::ostream &os, const LoadedReport &report)
+{
+    const JsonValue *tl = timelinesSection(report);
+    if (!tl) {
+        os << "(no timelines section; run with --timelines)\n";
+        return;
+    }
+
+    const JsonValue *tlv = tl->get("schema_version");
+    const JsonValue *gops = tl->get("global_ops");
+    const JsonValue *stride = tl->get("interval_ops");
+    os << "timelines (schema v" << (tlv ? tlv->asUint() : 0) << ", "
+       << (gops ? gops->asUint() : 0) << " ops, snapshot stride "
+       << (stride ? stride->asUint() : 0) << ")\n";
+
+    if (const JsonValue *counters = tl->get("counters")) {
+        const std::vector<std::uint64_t> ops = opAxis(*counters);
+        const JsonValue *series = counters->get("series");
+        if (!ops.empty() && series) {
+            os << "  counter snapshots: " << ops.size()
+               << " rows x " << series->object.size()
+               << " series  [";
+            for (std::size_t i = 0; i < series->object.size(); ++i)
+                os << (i ? ", " : "") << series->object[i].first;
+            os << "]\n";
+        }
+    }
+
+    const JsonValue *runs = tl->get("runs");
+    if (!runs || runs->array.empty()) {
+        os << "  (no sampling runs recorded)\n";
+        return;
+    }
+    for (const JsonValue &run : runs->array) {
+        const JsonValue *label = run.get("label");
+        os << "\nrun '" << (label ? label->string : "?") << "'\n";
+        if (const JsonValue *timeline = run.get("phase_timeline"))
+            renderPhaseStrip(os, *timeline);
+        if (const JsonValue *conv = run.get("convergence"))
+            for (const auto &[phase_id, curve] : conv->object)
+                renderConvergence(os, phase_id, curve);
+    }
+    if (const JsonValue *dropped = tl->get("dropped_runs"))
+        if (dropped->asUint() > 0)
+            os << "\n(" << dropped->asUint()
+               << " further runs dropped: max_runs reached)\n";
+}
+
+double
+DiffRow::percent() const
+{
+    if (a == b)
+        return 0.0;
+    if (a == 0.0)
+        return kNan;
+    return (b - a) / std::abs(a) * 100.0;
+}
+
+std::vector<DiffRow>
+diffReports(const LoadedReport &a, const LoadedReport &b)
+{
+    std::vector<DiffRow> out;
+    for (const auto &[path, av] : a.values) {
+        bool found = false;
+        double bv = 0.0;
+        for (const auto &[bpath, v] : b.values)
+            if (bpath == path) {
+                found = true;
+                bv = v;
+                break;
+            }
+        if (found)
+            out.push_back({path, av, bv});
+    }
+    return out;
+}
+
+void
+renderDiff(std::ostream &os, const LoadedReport &a,
+           const LoadedReport &b)
+{
+    os << "A: " << a.program << "  (" << a.path << ")\n";
+    os << "B: " << b.program << "  (" << b.path << ")\n\n";
+
+    const std::vector<DiffRow> rows = diffReports(a, b);
+    util::Table t("A vs B");
+    t.setHeader({"path", "A", "B", "delta"});
+    for (const DiffRow &row : rows) {
+        std::string delta;
+        const double pct = row.percent();
+        if (std::isnan(pct)) {
+            delta = "n/a";
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%+.2f%%", pct);
+            delta = buf;
+        }
+        t.addRow({row.path, fmtNum(row.a), fmtNum(row.b), delta});
+    }
+    t.print(os);
+
+    const std::size_t only_a = a.values.size() - rows.size();
+    const std::size_t only_b = b.values.size() - rows.size();
+    if (only_a || only_b)
+        os << "\n(" << only_a << " paths only in A, " << only_b
+           << " only in B)\n";
+}
+
+void
+CheckResult::merge(const CheckResult &other)
+{
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+    warnings.insert(warnings.end(), other.warnings.begin(),
+                    other.warnings.end());
+    trace_events += other.trace_events;
+}
+
+CheckResult
+checkReport(const LoadedReport &report)
+{
+    CheckResult res;
+    const JsonValue &doc = report.doc;
+
+    const JsonValue *schema = doc.get("schema");
+    if (!schema || schema->string != "pgss-run-report")
+        res.violations.push_back("schema is not 'pgss-run-report'");
+    const JsonValue *version = doc.get("schema_version");
+    if (!version || version->asUint() < 1)
+        res.violations.push_back("missing or zero schema_version");
+    if (report.program.empty())
+        res.violations.push_back("empty 'program' field");
+    for (const char *section : {"perf", "stats"}) {
+        const JsonValue *v = doc.get(section);
+        if (!v || !v->isObject())
+            res.violations.push_back(std::string("missing '") +
+                                     section + "' object");
+    }
+    if (report.partial)
+        res.warnings.push_back(
+            "partial report: the run exited abnormally");
+    for (const auto &[path, v] : report.values)
+        if (std::isnan(v))
+            res.warnings.push_back("non-finite value at " + path);
+
+    const JsonValue *tl = doc.get("timelines");
+    if (!tl)
+        return res; // timelines are optional
+    if (!tl->isObject()) {
+        res.violations.push_back("'timelines' is not an object");
+        return res;
+    }
+    const JsonValue *tlv = tl->get("schema_version");
+    if (!tlv || tlv->asUint() < 1)
+        res.violations.push_back("timelines: missing schema_version");
+
+    if (const JsonValue *counters = tl->get("counters")) {
+        const std::vector<std::uint64_t> ops = opAxis(*counters);
+        checkMonotonic(ops, "timelines.counters", /*strict=*/true,
+                       res);
+        if (const JsonValue *series = counters->get("series"))
+            for (const auto &[name, arr] : series->object)
+                if (arr.array.size() != ops.size())
+                    res.violations.push_back(
+                        "timelines.counters." + name + ": " +
+                        std::to_string(arr.array.size()) +
+                        " points, op axis has " +
+                        std::to_string(ops.size()));
+    }
+
+    if (const JsonValue *runs = tl->get("runs")) {
+        for (std::size_t r = 0; r < runs->array.size(); ++r) {
+            const JsonValue &run = runs->array[r];
+            const std::string ctx =
+                "timelines.runs[" + std::to_string(r) + "]";
+            if (const JsonValue *pt = run.get("phase_timeline")) {
+                const std::vector<std::uint64_t> ops = opAxis(*pt);
+                checkMonotonic(ops, ctx + ".phase_timeline",
+                               /*strict=*/false, res);
+                checkAligned(*pt, "phase", ops.size(),
+                             ctx + ".phase_timeline", res);
+            }
+            if (const JsonValue *conv = run.get("convergence")) {
+                for (const auto &[phase_id, curve] : conv->object) {
+                    const std::string cctx =
+                        ctx + ".convergence." + phase_id;
+                    const std::vector<std::uint64_t> ops =
+                        opAxis(curve);
+                    checkMonotonic(ops, cctx, /*strict=*/false, res);
+                    for (const char *arr :
+                         {"samples", "mean", "ci_rel", "closed"})
+                        checkAligned(curve, arr, ops.size(), cctx,
+                                     res);
+                    // Sample counts must be non-decreasing: a curve
+                    // that loses samples indicates recorder misuse.
+                    if (const JsonValue *samples =
+                            curve.get("samples")) {
+                        std::uint64_t prev = 0;
+                        for (const JsonValue &v : samples->array) {
+                            if (v.asUint() < prev) {
+                                res.violations.push_back(
+                                    cctx +
+                                    ": sample count decreases");
+                                break;
+                            }
+                            prev = v.asUint();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return res;
+}
+
+CheckResult
+checkTrace(std::istream &in)
+{
+    CheckResult res;
+    std::string line;
+    std::size_t lineno = 0;
+    double last_t = -1.0;
+    std::uint64_t last_op = 0;
+    bool sample_open = false;
+    bool saw_eof = false;
+    std::uint64_t open_count = 0, close_count = 0;
+
+    auto bad = [&res, &lineno](const std::string &what) {
+        res.violations.push_back("line " + std::to_string(lineno) +
+                                 ": " + what);
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (saw_eof) {
+            bad("event after eof accounting line");
+            continue;
+        }
+        JsonValue ev;
+        std::string err;
+        if (!parseJson(line, ev, &err)) {
+            bad("unparseable (" + err + ")");
+            continue;
+        }
+        const JsonValue *t = ev.get("t");
+        const JsonValue *op = ev.get("op");
+        const JsonValue *kind = ev.get("ev");
+        if (!t || !t->isNumber() || !op || !op->isNumber() || !kind ||
+            !kind->isString()) {
+            bad("missing t/op/ev field");
+            continue;
+        }
+        if (t->number < last_t)
+            bad("timestamp moves backwards");
+        last_t = t->number;
+
+        if (kind->string == "eof") {
+            saw_eof = true;
+            const JsonValue *emitted = ev.get("emitted");
+            const JsonValue *dropped = ev.get("dropped");
+            if (!emitted || !dropped) {
+                bad("eof line missing emitted/dropped");
+                continue;
+            }
+            if (dropped->asUint() > 0)
+                res.warnings.push_back(
+                    std::to_string(dropped->asUint()) +
+                    " events dropped by the ring buffer");
+            const std::uint64_t expect =
+                emitted->asUint() - dropped->asUint();
+            if (res.trace_events != expect)
+                bad("accounting mismatch: " +
+                    std::to_string(res.trace_events) +
+                    " event lines, eof claims " +
+                    std::to_string(expect));
+            continue;
+        }
+
+        ++res.trace_events;
+        const std::uint64_t this_op = op->asUint();
+        if (kind->string == "sample_open") {
+            // An op counter moving backwards means a new engine
+            // started; any sample left open there closed implicitly.
+            if (sample_open && this_op >= last_op)
+                bad("sample_open while a sample is already open");
+            sample_open = true;
+            ++open_count;
+        } else if (kind->string == "sample_close") {
+            if (!sample_open)
+                bad("sample_close without a matching open");
+            sample_open = false;
+            ++close_count;
+        } else if (sample_open && this_op < last_op) {
+            sample_open = false; // engine restart: implicit close
+        }
+        last_op = this_op;
+    }
+
+    if (sample_open)
+        res.warnings.push_back(
+            "trace ends inside an open sample (" +
+            std::to_string(open_count) + " opens, " +
+            std::to_string(close_count) + " closes)");
+    if (!saw_eof)
+        res.warnings.push_back(
+            "no eof accounting line: run was interrupted or the "
+            "sink was not destroyed");
+    return res;
+}
+
+} // namespace pgss::obs

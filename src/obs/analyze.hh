@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Offline analysis of observability artefacts — the library behind
+ * `tools/pgss_report`. Consumes pgss-run-report JSON documents (and
+ * optionally a trace JSONL stream) and provides:
+ *
+ *  - loadReport(): parse + flatten every numeric leaf ("perf.*",
+ *    "stats.*", numeric "meta.*") to its dotted path
+ *  - renderReport(): aligned text tables plus ASCII phase timelines
+ *    and per-phase CI-convergence curves from the "timelines" section
+ *  - renderDiff()/diffReports(): A-vs-B comparison with percent
+ *    deltas for every shared numeric path
+ *  - checkReport()/checkTrace(): sanity checks — schema fields,
+ *    monotonic axes, balanced sample open/close, trace eof
+ *    accounting (lines == emitted - dropped) — the `pgss_report
+ *    check` CI gate
+ *
+ * Kept in src/obs (not tools/) so the logic is unit-testable against
+ * the golden reports in tests/data/.
+ */
+
+#ifndef PGSS_OBS_ANALYZE_HH
+#define PGSS_OBS_ANALYZE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_read.hh"
+
+namespace pgss::obs
+{
+
+/** A parsed run report plus its flattened numeric view. */
+struct LoadedReport
+{
+    std::string path;    ///< where it was loaded from (display only)
+    std::string program; ///< "program" field
+    bool partial = false;
+    JsonValue doc;
+
+    /**
+     * Every numeric leaf as (dotted path, value), document order:
+     * "perf.mode.functional_warm.mips", "stats.engine.total_ops",
+     * "meta.workload_scale", ... Null leaves (non-finite doubles)
+     * appear as NaN. The "timelines" section is not flattened.
+     */
+    std::vector<std::pair<std::string, double>> values;
+
+    /** Value at @p path or NaN when absent. */
+    double value(const std::string &path) const;
+};
+
+/** Parse the report document in @p text. */
+bool loadReportFromString(const std::string &text, LoadedReport &out,
+                          std::string *error);
+
+/** Read and parse the report file at @p path. */
+bool loadReport(const std::string &path, LoadedReport &out,
+                std::string *error);
+
+/**
+ * Render header, perf table, stats table, and — when the report has
+ * a "timelines" section — the ASCII phase timeline and per-phase
+ * CI-convergence curves of every recorded run.
+ */
+void renderReport(std::ostream &os, const LoadedReport &report);
+
+/** Render just the "timelines" section (no-op when absent). */
+void renderTimelines(std::ostream &os, const LoadedReport &report);
+
+/** One A-vs-B comparison row. */
+struct DiffRow
+{
+    std::string path;
+    double a = 0.0;
+    double b = 0.0;
+
+    /** Percent change B vs A (NaN when A is 0 and B differs). */
+    double percent() const;
+};
+
+/** Rows for every numeric path present in both reports. */
+std::vector<DiffRow> diffReports(const LoadedReport &a,
+                                 const LoadedReport &b);
+
+/**
+ * Render the A-vs-B table: every shared counter/scalar with percent
+ * deltas, plus the paths unique to one side (counts only).
+ */
+void renderDiff(std::ostream &os, const LoadedReport &a,
+                const LoadedReport &b);
+
+/** Outcome of a sanity check. */
+struct CheckResult
+{
+    std::vector<std::string> violations; ///< hard failures (CI gate)
+    std::vector<std::string> warnings;   ///< suspicious but tolerated
+    std::uint64_t trace_events = 0;      ///< event lines seen (trace)
+
+    bool ok() const { return violations.empty(); }
+    void merge(const CheckResult &other);
+};
+
+/**
+ * Structural sanity of a run report: schema identity, finite values,
+ * per-mode counter consistency, monotonic timeline axes, aligned
+ * timeline arrays. A partial report is a warning, not a violation.
+ */
+CheckResult checkReport(const LoadedReport &report);
+
+/**
+ * Trace-stream sanity: every line parses, timestamps are monotonic,
+ * sample_open/sample_close alternate (an open may be implicitly
+ * closed by an engine restart, detected by the op counter moving
+ * backwards), and the eof line's accounting matches the number of
+ * event lines (lines == emitted - dropped). A missing eof line — an
+ * interrupted run — is a warning.
+ */
+CheckResult checkTrace(std::istream &in);
+
+} // namespace pgss::obs
+
+#endif // PGSS_OBS_ANALYZE_HH

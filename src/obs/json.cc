@@ -8,37 +8,111 @@
 namespace pgss::obs
 {
 
+namespace
+{
+
+/**
+ * Length of the well-formed UTF-8 sequence starting at s[i], or 0
+ * when the bytes there are not valid UTF-8 (stray continuation,
+ * overlong encoding, surrogate, out-of-range, or truncated).
+ */
+std::size_t
+utf8SequenceLength(const std::string &s, std::size_t i)
+{
+    const auto byte = [&](std::size_t k) {
+        return static_cast<unsigned char>(s[k]);
+    };
+    const unsigned char b0 = byte(i);
+    std::size_t len = 0;
+    if (b0 >= 0xc2 && b0 <= 0xdf)
+        len = 2;
+    else if (b0 >= 0xe0 && b0 <= 0xef)
+        len = 3;
+    else if (b0 >= 0xf0 && b0 <= 0xf4)
+        len = 4;
+    else
+        return 0; // ASCII handled by the caller; the rest is invalid
+    if (i + len > s.size())
+        return 0;
+    for (std::size_t k = 1; k < len; ++k)
+        if (byte(i + k) < 0x80 || byte(i + k) > 0xbf)
+            return 0;
+    // Reject overlong 3/4-byte forms, UTF-16 surrogates, > U+10FFFF.
+    if (b0 == 0xe0 && byte(i + 1) < 0xa0)
+        return 0;
+    if (b0 == 0xed && byte(i + 1) > 0x9f)
+        return 0;
+    if (b0 == 0xf0 && byte(i + 1) < 0x90)
+        return 0;
+    if (b0 == 0xf4 && byte(i + 1) > 0x8f)
+        return 0;
+    return len;
+}
+
+} // anonymous namespace
+
 std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
-    for (const char c : s) {
+    for (std::size_t i = 0; i < s.size();) {
+        const char c = s[i];
+        const unsigned char b = static_cast<unsigned char>(c);
         switch (c) {
           case '"':
             out += "\\\"";
-            break;
+            ++i;
+            continue;
           case '\\':
             out += "\\\\";
-            break;
+            ++i;
+            continue;
+          case '\b':
+            out += "\\b";
+            ++i;
+            continue;
+          case '\f':
+            out += "\\f";
+            ++i;
+            continue;
           case '\n':
             out += "\\n";
-            break;
+            ++i;
+            continue;
           case '\r':
             out += "\\r";
-            break;
+            ++i;
+            continue;
           case '\t':
             out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c) & 0xff);
-                out += buf;
-            } else {
-                out += c;
-            }
+            ++i;
+            continue;
+        }
+        if (b < 0x20) {
+            // Remaining control characters have no shorthand.
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", unsigned{b});
+            out += buf;
+            ++i;
+            continue;
+        }
+        if (b < 0x80) {
+            out += c;
+            ++i;
+            continue;
+        }
+        // Non-ASCII: pass well-formed UTF-8 through untouched; escape
+        // stray bytes as their Latin-1 code point so the document is
+        // always valid JSON in valid UTF-8 and no byte is lost.
+        if (const std::size_t len = utf8SequenceLength(s, i)) {
+            out.append(s, i, len);
+            i += len;
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", unsigned{b});
+            out += buf;
+            ++i;
         }
     }
     return out;

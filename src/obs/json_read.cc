@@ -1,0 +1,345 @@
+#include "obs/json_read.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pgss::obs
+{
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::asNumber(double def) const
+{
+    if (kind == Kind::Number)
+        return number;
+    if (kind == Kind::Null)
+        return std::nan(""); // the writer emits non-finite as null
+    return def;
+}
+
+std::uint64_t
+JsonValue::asUint(std::uint64_t def) const
+{
+    if (kind != Kind::Number || number < 0.0 ||
+        !std::isfinite(number))
+        return def;
+    return static_cast<std::uint64_t>(number);
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_ && error_->empty())
+            *error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t i = 0;
+        while (word[i]) {
+            if (pos_ + i >= text_.size() || text_[pos_ + i] != word[i])
+                return false;
+            ++i;
+        }
+        pos_ += i;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    hex4(std::uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote consumed by caller check
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                std::uint32_t cp = 0;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: require the low half.
+                    if (pos_ + 2 > text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return fail("lone high surrogate");
+                    pos_ += 2;
+                    std::uint32_t lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("lone low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("malformed number");
+        pos_ += static_cast<std::size_t>(end - start);
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (++depth_ > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        bool ok = false;
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                ok = true;
+            } else {
+                while (true) {
+                    skipWs();
+                    if (pos_ >= text_.size() || text_[pos_] != '"') {
+                        fail("expected member key");
+                        break;
+                    }
+                    std::string key;
+                    if (!parseString(key))
+                        break;
+                    skipWs();
+                    if (pos_ >= text_.size() || text_[pos_] != ':') {
+                        fail("expected ':'");
+                        break;
+                    }
+                    ++pos_;
+                    JsonValue member;
+                    if (!parseValue(member))
+                        break;
+                    out.object.emplace_back(std::move(key),
+                                            std::move(member));
+                    skipWs();
+                    if (pos_ < text_.size() && text_[pos_] == ',') {
+                        ++pos_;
+                        continue;
+                    }
+                    if (pos_ < text_.size() && text_[pos_] == '}') {
+                        ++pos_;
+                        ok = true;
+                    } else {
+                        fail("expected ',' or '}'");
+                    }
+                    break;
+                }
+            }
+        } else if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                ok = true;
+            } else {
+                while (true) {
+                    JsonValue element;
+                    if (!parseValue(element))
+                        break;
+                    out.array.push_back(std::move(element));
+                    skipWs();
+                    if (pos_ < text_.size() && text_[pos_] == ',') {
+                        ++pos_;
+                        continue;
+                    }
+                    if (pos_ < text_.size() && text_[pos_] == ']') {
+                        ++pos_;
+                        ok = true;
+                    } else {
+                        fail("expected ',' or ']'");
+                    }
+                    break;
+                }
+            }
+        } else if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            ok = parseString(out.string);
+        } else if (literal("true")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            ok = true;
+        } else if (literal("false")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            ok = true;
+        } else if (literal("null")) {
+            out.kind = JsonValue::Kind::Null;
+            ok = true;
+        } else {
+            ok = parseNumber(out);
+        }
+        --depth_;
+        return ok;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out,
+          std::string *error)
+{
+    if (error)
+        error->clear();
+    out = JsonValue{};
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+} // namespace pgss::obs

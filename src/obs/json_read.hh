@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the offline analysis
+ * tooling (tools/pgss_report): enough of RFC 8259 to read back what
+ * obs/json.hh writes — objects, arrays, strings with escapes
+ * (including \uXXXX and surrogate pairs), numbers, booleans, null.
+ * Not a general-purpose parser: no streaming, no duplicate-key
+ * detection, numbers are doubles. Run reports and trace lines are
+ * small enough that a DOM is the right trade.
+ */
+
+#ifndef PGSS_OBS_JSON_READ_HH
+#define PGSS_OBS_JSON_READ_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pgss::obs
+{
+
+/** One parsed JSON value (a tagged tree). */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Members in document order. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member @p key of an object, or nullptr. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** number when Number, @p def otherwise (Null reads as NaN). */
+    double asNumber(double def = 0.0) const;
+
+    /** number truncated to uint64 when Number and >= 0, else @p def. */
+    std::uint64_t asUint(std::uint64_t def = 0) const;
+};
+
+/**
+ * Parse @p text into @p out. @return false (and set @p error to a
+ * message with an offset) on malformed input, including trailing
+ * garbage after the document.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace pgss::obs
+
+#endif // PGSS_OBS_JSON_READ_HH

@@ -1,12 +1,17 @@
 #include "obs/report.hh"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <utility>
 #include <vector>
 
 #include "obs/json.hh"
 #include "obs/perf.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -21,6 +26,8 @@ struct ReportState
 {
     std::string program = "unknown";
     std::string stats_json_path;
+    std::string timeline_csv_path;
+    bool partial = false; ///< report written by the abnormal-exit path
     std::vector<std::pair<std::string, std::string>> meta_str;
     std::vector<std::pair<std::string, double>> meta_num;
 };
@@ -32,6 +39,12 @@ state()
     return s;
 }
 
+/**
+ * Set once finalize() has run (or the emergency writer fired), so the
+ * exit paths never write the report twice.
+ */
+std::atomic<bool> g_finalized{false};
+
 /** Value of "--<flag>=..." when @p arg matches, else nullptr. */
 const char *
 flagValue(const char *arg, const char *flag)
@@ -40,6 +53,101 @@ flagValue(const char *arg, const char *flag)
     if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=')
         return arg + len + 1;
     return nullptr;
+}
+
+bool
+writeReportFile()
+{
+    const std::string &path = state().stats_json_path;
+    if (path.empty())
+        return true;
+    const std::string doc = reportJsonString();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        util::warn("report: cannot write '%s'", path.c_str());
+        return false;
+    }
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    util::inform("report: wrote %s%s", path.c_str(),
+                 state().partial ? " (partial)" : "");
+    return true;
+}
+
+bool
+writeTimelineCsv()
+{
+    const std::string &path = state().timeline_csv_path;
+    if (path.empty())
+        return true;
+    const TimelineRecorder *rec = timelines();
+    if (!rec) {
+        util::warn("report: --timeline-out set but no recorder");
+        return false;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        util::warn("report: cannot write '%s'", path.c_str());
+        return false;
+    }
+    rec->writeCsv(out);
+    util::inform("report: wrote %s", path.c_str());
+    return true;
+}
+
+/**
+ * Best-effort flush on abnormal exit: drain the trace sink and write
+ * the report/CSV marked partial. Called from std::atexit and from the
+ * SIGINT/SIGTERM handler; the handler path is technically not
+ * async-signal-safe (it allocates and does stdio), which is the
+ * accepted trade for getting diagnostics out of an interrupted run —
+ * the alternative is losing them, and the process is about to die
+ * anyway.
+ */
+void
+emergencyFlush(const char *why)
+{
+    if (g_finalized.exchange(true))
+        return;
+    state().partial = true;
+    setReportMeta("exit_reason", std::string(why));
+    if (TraceSink *t = traceSink())
+        t->flush();
+    writeReportFile();
+    writeTimelineCsv();
+}
+
+extern "C" void
+obsAtexitFlush()
+{
+    emergencyFlush("atexit");
+}
+
+extern "C" void
+obsSignalFlush(int sig)
+{
+    emergencyFlush(sig == SIGINT ? "sigint" : "sigterm");
+    // Restore and re-raise so the exit status still reports the
+    // signal to the parent (shell, ctest, CI).
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+void
+installExitHandlers()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    // Registered after the trace sink's global storage is initialised
+    // (applyObsFlags runs first), so the atexit flush sees a live
+    // sink and the sink's destructor — which appends the trace eof
+    // accounting line — still runs afterwards.
+    std::atexit(obsAtexitFlush);
+    std::signal(SIGINT, obsSignalFlush);
+    std::signal(SIGTERM, obsSignalFlush);
 }
 
 } // anonymous namespace
@@ -51,19 +159,32 @@ registry()
     return reg;
 }
 
-void
-initFromCli(int &argc, char **argv, const std::string &program_name)
+ObsFlags
+parseObsFlags(int &argc, char **argv)
 {
-    state().program = program_name;
-    std::string stats_path = util::envString("PGSS_STATS_JSON", "");
-    std::string trace_path = util::envString("PGSS_TRACE_OUT", "");
+    ObsFlags flags;
+    flags.stats_json = util::envString("PGSS_STATS_JSON", "");
+    flags.trace_out = util::envString("PGSS_TRACE_OUT", "");
+    flags.timeline_out = util::envString("PGSS_TIMELINE_OUT", "");
+    flags.timelines =
+        util::envString("PGSS_TIMELINES", "") == "1";
+    flags.timeline_interval = static_cast<std::uint64_t>(
+        util::envDouble("PGSS_TIMELINE_INTERVAL", 0.0));
 
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (const char *v = flagValue(argv[i], "--stats-json")) {
-            stats_path = v;
+            flags.stats_json = v;
         } else if (const char *v2 = flagValue(argv[i], "--trace-out")) {
-            trace_path = v2;
+            flags.trace_out = v2;
+        } else if (const char *v3 =
+                       flagValue(argv[i], "--timeline-out")) {
+            flags.timeline_out = v3;
+        } else if (const char *v4 =
+                       flagValue(argv[i], "--timeline-interval")) {
+            flags.timeline_interval = std::strtoull(v4, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--timelines") == 0) {
+            flags.timelines = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -71,9 +192,34 @@ initFromCli(int &argc, char **argv, const std::string &program_name)
     argc = out;
     argv[argc] = nullptr;
 
-    state().stats_json_path = stats_path;
-    if (!trace_path.empty())
-        setTraceSink(std::make_unique<TraceSink>(trace_path));
+    if (!flags.timeline_out.empty() || flags.timeline_interval > 0)
+        flags.timelines = true;
+    return flags;
+}
+
+void
+applyObsFlags(const ObsFlags &flags)
+{
+    state().stats_json_path = flags.stats_json;
+    state().timeline_csv_path = flags.timeline_out;
+    if (!flags.trace_out.empty())
+        setTraceSink(std::make_unique<TraceSink>(flags.trace_out));
+    if (flags.timelines) {
+        TimelineConfig cfg;
+        if (flags.timeline_interval > 0)
+            cfg.interval_ops = flags.timeline_interval;
+        setTimelineRecorder(
+            std::make_unique<TimelineRecorder>(cfg));
+    }
+}
+
+void
+initFromCli(int &argc, char **argv, const std::string &program_name)
+{
+    state().program = program_name;
+    const ObsFlags flags = parseObsFlags(argc, argv);
+    applyObsFlags(flags);
+    installExitHandlers();
 }
 
 void
@@ -109,6 +255,7 @@ reportJsonString()
     w.field("schema_version",
             std::uint64_t{StatsRegistry::schema_version});
     w.field("program", state().program);
+    w.field("partial", state().partial);
     w.beginObject("meta");
     for (const auto &kv : state().meta_str)
         w.field(kv.first, kv.second);
@@ -117,6 +264,8 @@ reportJsonString()
     w.endObject();
     perf().dumpJson(w);
     registry().dumpJson(w);
+    if (const TimelineRecorder *rec = timelines())
+        rec->dumpJson(w);
     w.endObject();
     return w.str();
 }
@@ -124,30 +273,25 @@ reportJsonString()
 bool
 finalize()
 {
+    g_finalized.store(true);
     if (TraceSink *t = traceSink())
         t->flush();
 
-    const std::string &path = state().stats_json_path;
-    if (path.empty())
-        return true;
-
-    const std::string doc = reportJsonString();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        util::warn("report: cannot write '%s'", path.c_str());
-        return false;
-    }
-    std::fputs(doc.c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    util::inform("report: wrote %s", path.c_str());
-    return true;
+    const bool report_ok = writeReportFile();
+    const bool csv_ok = writeTimelineCsv();
+    return report_ok && csv_ok;
 }
 
 const std::string &
 statsJsonPath()
 {
     return state().stats_json_path;
+}
+
+const std::string &
+timelineCsvPath()
+{
+    return state().timeline_csv_path;
 }
 
 } // namespace pgss::obs

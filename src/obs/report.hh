@@ -6,23 +6,40 @@
  * containing:
  *
  *   - "program": the binary/figure identifier
+ *   - "partial": false normally; true when written by the abnormal-
+ *     exit path (signal or atexit before finalize())
  *   - "meta": free-form key/value annotations (workload scale, ...)
  *   - "perf": the global PerfRegistry (per-mode host time and MIPS)
  *   - "stats": the global StatsRegistry tree
+ *   - "timelines": time-series section (only when timelines are on;
+ *     see obs/timeline.hh and DESIGN.md section 8.5)
  *
  * Flags (also honoured as environment variables):
- *   --stats-json=<path>   (PGSS_STATS_JSON)  write the report on
- *                         finalize()
- *   --trace-out=<path>    (PGSS_TRACE_OUT)   stream trace events as
- *                         JSONL
+ *   --stats-json=<path>        (PGSS_STATS_JSON)        write the
+ *                              report on finalize()
+ *   --trace-out=<path>         (PGSS_TRACE_OUT)         stream trace
+ *                              events as JSONL
+ *   --timelines                (PGSS_TIMELINES=1)       enable the
+ *                              timeline recorder at the default
+ *                              snapshot stride
+ *   --timeline-interval=<ops>  (PGSS_TIMELINE_INTERVAL) enable it at
+ *                              the given stride
+ *   --timeline-out=<path>      (PGSS_TIMELINE_OUT)      enable it and
+ *                              also write the timelines as CSV
  *
- * initFromCli() strips the flags it consumes from argv so positional
- * argument parsing in the binaries keeps working.
+ * All flag stripping lives in parseObsFlags() so the bench and
+ * example binaries share one implementation. initFromCli() strips the
+ * flags it consumes from argv so positional argument parsing in the
+ * binaries keeps working, installs the requested sinks, and registers
+ * the abnormal-exit handlers (std::atexit plus SIGINT/SIGTERM) that
+ * flush the trace sink and write a partial run report, so an
+ * interrupted long run still yields usable observability data.
  */
 
 #ifndef PGSS_OBS_REPORT_HH
 #define PGSS_OBS_REPORT_HH
 
+#include <cstdint>
 #include <string>
 
 #include "obs/stats.hh"
@@ -36,11 +53,35 @@ namespace pgss::obs
  */
 StatsRegistry &registry();
 
+/** Everything the shared observability flags can request. */
+struct ObsFlags
+{
+    std::string stats_json;   ///< run-report path ("" = off)
+    std::string trace_out;    ///< trace JSONL path ("" = off)
+    std::string timeline_out; ///< timeline CSV path ("" = no CSV)
+    bool timelines = false;   ///< record timelines (implied by the
+                              ///< other timeline flags)
+    std::uint64_t timeline_interval = 0; ///< snapshot stride (0 = default)
+};
+
 /**
- * Parse and remove --stats-json=/--trace-out= from @p argv (falling
- * back to PGSS_STATS_JSON/PGSS_TRACE_OUT), install the trace sink,
- * and remember @p program_name for the report header. Call once at
- * the top of main().
+ * Parse and remove the observability flags from @p argv (falling back
+ * to the corresponding environment variables; an explicit flag wins).
+ * Shared by every bench and example binary — do not re-implement flag
+ * stripping per binary.
+ */
+ObsFlags parseObsFlags(int &argc, char **argv);
+
+/**
+ * Install the sinks @p flags request: the trace sink, the timeline
+ * recorder, and the report/CSV output paths consumed by finalize().
+ */
+void applyObsFlags(const ObsFlags &flags);
+
+/**
+ * parseObsFlags() + applyObsFlags() + abnormal-exit handlers, and
+ * remember @p program_name for the report header. Call once at the
+ * top of main().
  */
 void initFromCli(int &argc, char **argv,
                  const std::string &program_name);
@@ -53,15 +94,19 @@ void setReportMeta(const std::string &key, double value);
 std::string reportJsonString();
 
 /**
- * Flush the trace sink and, when --stats-json was given, write the
- * run report. Call once at the end of main(), while every component
- * registered into registry() is still alive. @return false when a
- * requested report could not be written.
+ * Flush the trace sink and, when --stats-json/--timeline-out were
+ * given, write the run report and timeline CSV. Call once at the end
+ * of main(), while every component registered into registry() is
+ * still alive. @return false when a requested output could not be
+ * written.
  */
 bool finalize();
 
 /** Path the report will be written to ("" when not requested). */
 const std::string &statsJsonPath();
+
+/** Path the timeline CSV will be written to ("" when not requested). */
+const std::string &timelineCsvPath();
 
 } // namespace pgss::obs
 

@@ -61,8 +61,10 @@ TraceSink::TraceSink(const std::string &path, std::size_t capacity)
 TraceSink::~TraceSink()
 {
     flush();
-    if (file_)
+    if (file_) {
+        writeEof();
         std::fclose(file_);
+    }
 }
 
 void
@@ -78,6 +80,7 @@ TraceSink::emit(TraceKind kind, std::uint64_t op, std::uint32_t id,
             ++dropped_;
         }
     }
+    last_op_ = op;
     TraceEvent &e = ring_[head_];
     e.wall = wallSeconds() - t0_;
     e.op = op;
@@ -121,6 +124,23 @@ TraceSink::writeEvent(const TraceEvent &e)
         w.field("threshold", e.value);
         break;
     }
+    w.endObject();
+    std::fputs(w.str().c_str(), file_);
+    std::fputc('\n', file_);
+}
+
+void
+TraceSink::writeEof()
+{
+    // Final accounting line: lets offline checkers verify that the
+    // number of event lines equals emitted - dropped (see trace.hh).
+    JsonWriter w;
+    w.beginObject();
+    w.field("t", wallSeconds() - t0_);
+    w.field("op", last_op_);
+    w.field("ev", "eof");
+    w.field("emitted", emitted_);
+    w.field("dropped", dropped_);
     w.endObject();
     std::fputs(w.str().c_str(), file_);
     std::fputc('\n', file_);

@@ -13,6 +13,14 @@
  * section 8):
  *   {"t": <wall seconds since sink creation>, "op": <global op>,
  *    "ev": "<kind>", ...kind-specific fields}
+ *
+ * A file-backed sink appends one final accounting line when it is
+ * destroyed (normal exit or setTraceSink(nullptr)):
+ *   {"t": ..., "op": <last op>, "ev": "eof",
+ *    "emitted": <total events>, "dropped": <ring overwrites>}
+ * so offline tooling (tools/pgss_report check) can verify no event
+ * was lost. An interrupted run's trace legitimately lacks the eof
+ * line.
  */
 
 #ifndef PGSS_OBS_TRACE_HH
@@ -97,6 +105,7 @@ class TraceSink
   private:
     void drainToFile();
     void writeEvent(const TraceEvent &e);
+    void writeEof();
 
     std::string path_;
     std::FILE *file_ = nullptr;
@@ -105,6 +114,7 @@ class TraceSink
     std::size_t count_ = 0; ///< valid events in the ring
     std::uint64_t emitted_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t last_op_ = 0; ///< op of the newest event (eof line)
     double t0_ = 0.0;
 };
 

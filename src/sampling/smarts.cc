@@ -1,5 +1,9 @@
 #include "sampling/smarts.hh"
 
+#include <cmath>
+
+#include "obs/timeline.hh"
+#include "stats/confidence.hh"
 #include "stats/running_stats.hh"
 
 namespace pgss::sampling
@@ -10,6 +14,16 @@ runSmarts(sim::SimulationEngine &engine, const SmartsConfig &config)
 {
     SmartsRun run;
     run.result.technique = "SMARTS";
+
+    // SMARTS never stops early, but its convergence curve (the CI of
+    // the single stratum closing at the TurboSMARTS 3%-at-99.7%
+    // target) is what live-sampling diagnostics plot; record it when
+    // timelines are on.
+    obs::TimelineRecorder *tl = obs::timelines();
+    if (tl)
+        tl->beginRun("smarts");
+    constexpr double kConfidence = 0.997;
+    constexpr double kRelError = 0.03;
 
     stats::RunningStats cpi;
     while (!engine.halted()) {
@@ -26,6 +40,16 @@ runSmarts(sim::SimulationEngine &engine, const SmartsConfig &config)
                                   static_cast<double>(meas.ops);
         cpi.add(sample_cpi);
         run.sample_cpis.push_back(sample_cpi);
+        if (tl) {
+            const double mean = cpi.mean();
+            const double hw = stats::ciHalfWidth(cpi, kConfidence);
+            const double rel =
+                mean != 0.0 ? hw / std::abs(mean) : hw;
+            tl->recordConvergence(0, engine.totalOps(), cpi.count(),
+                                  mean, rel,
+                                  cpi.count() >= 2 &&
+                                      rel <= kRelError);
+        }
     }
 
     run.result.est_cpi = cpi.mean();

@@ -4,6 +4,7 @@
 
 #include "obs/perf.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "sim/checkpoint.hh"
 #include "util/logging.hh"
@@ -170,6 +171,13 @@ SimulationEngine::run(std::uint64_t n, SimMode mode)
 
     mode_perf_[static_cast<int>(mode)]->add(
         done, obs::wallSeconds() - wall_before);
+
+    // Time-series observability: one predictable null check per run()
+    // chunk (per period, never per instruction) when timelines are
+    // off; a counter snapshot every interval_ops committed ops when
+    // on.
+    if (obs::TimelineRecorder *tl = obs::timelines())
+        tl->advance(done);
 
     return {done, pipeline_->cycles() - cycles_before};
 }

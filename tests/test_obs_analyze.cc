@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Offline-analysis tests: loading/flattening run reports, A-vs-B
+ * diffs on the golden reports in tests/data/, timeline rendering,
+ * and the report/trace sanity checks behind `pgss_report check`.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/analyze.hh"
+
+using pgss::obs::CheckResult;
+using pgss::obs::DiffRow;
+using pgss::obs::LoadedReport;
+
+namespace
+{
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(PGSS_TEST_DATA_DIR) + "/" + name;
+}
+
+LoadedReport
+loadGolden(const std::string &name)
+{
+    LoadedReport r;
+    std::string err;
+    EXPECT_TRUE(pgss::obs::loadReport(goldenPath(name), r, &err))
+        << err;
+    return r;
+}
+
+} // anonymous namespace
+
+TEST(ObsAnalyzeLoad, FlattensNumericLeaves)
+{
+    const LoadedReport a = loadGolden("golden_a.json");
+    EXPECT_EQ(a.program, "golden_a");
+    EXPECT_FALSE(a.partial);
+    EXPECT_DOUBLE_EQ(a.value("stats.engine.total_ops"), 1040000.0);
+    EXPECT_DOUBLE_EQ(a.value("stats.controller.cpi.phase0"), 1.25);
+    EXPECT_DOUBLE_EQ(a.value("perf.mode.detailed_measure.mips"), 0.2);
+    EXPECT_DOUBLE_EQ(a.value("meta.scale"), 1.5);
+    // Absent path reads as NaN, and timelines are not flattened.
+    EXPECT_TRUE(std::isnan(a.value("stats.nope")));
+    EXPECT_TRUE(std::isnan(a.value("timelines.global_ops")));
+}
+
+TEST(ObsAnalyzeLoad, RejectsGarbage)
+{
+    LoadedReport r;
+    std::string err;
+    EXPECT_FALSE(pgss::obs::loadReportFromString("{oops", r, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(
+        pgss::obs::loadReport(goldenPath("missing.json"), r, &err));
+    EXPECT_FALSE(pgss::obs::loadReportFromString("[1,2]", r, &err));
+}
+
+TEST(ObsAnalyzeDiff, SharedPathsGetPercentDeltas)
+{
+    const LoadedReport a = loadGolden("golden_a.json");
+    const LoadedReport b = loadGolden("golden_b.json");
+    const std::vector<DiffRow> rows = pgss::obs::diffReports(a, b);
+
+    // Every shared numeric path appears exactly once.
+    const auto find = [&rows](const std::string &path) -> const
+        DiffRow * {
+        for (const DiffRow &r : rows)
+            if (r.path == path)
+                return &r;
+        return nullptr;
+    };
+    const DiffRow *ops = find("stats.engine.total_ops");
+    ASSERT_NE(ops, nullptr);
+    EXPECT_DOUBLE_EQ(ops->a, 1040000.0);
+    EXPECT_DOUBLE_EQ(ops->b, 1150000.0);
+    EXPECT_NEAR(ops->percent(), 10.577, 0.01);
+
+    const DiffRow *cpi = find("stats.controller.cpi.phase1");
+    ASSERT_NE(cpi, nullptr);
+    EXPECT_NEAR(cpi->percent(), -4.0, 1e-9);
+
+    // "late_only" exists only in B: not a shared row.
+    EXPECT_EQ(find("stats.controller.late_only"), nullptr);
+
+    // Rendered diff mentions the header programs and a delta.
+    std::ostringstream os;
+    pgss::obs::renderDiff(os, a, b);
+    EXPECT_NE(os.str().find("golden_a"), std::string::npos);
+    EXPECT_NE(os.str().find("stats.engine.total_ops"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("%"), std::string::npos);
+    EXPECT_NE(os.str().find("only in B"), std::string::npos);
+}
+
+TEST(ObsAnalyzeDiff, PercentEdgeCases)
+{
+    DiffRow same{"x", 4.0, 4.0};
+    EXPECT_DOUBLE_EQ(same.percent(), 0.0);
+    DiffRow from_zero{"x", 0.0, 2.0};
+    EXPECT_TRUE(std::isnan(from_zero.percent()));
+    DiffRow negative{"x", -2.0, -3.0};
+    EXPECT_DOUBLE_EQ(negative.percent(), -50.0);
+}
+
+TEST(ObsAnalyzeRender, ShowsTimelinesAndCurves)
+{
+    const LoadedReport a = loadGolden("golden_a.json");
+    std::ostringstream os;
+    pgss::obs::renderReport(os, a);
+    const std::string out = os.str();
+    // Phase strip with both phase glyphs, plus both CI curve tables.
+    EXPECT_NE(out.find("run 'pgss'"), std::string::npos);
+    EXPECT_NE(out.find("phase |0"), std::string::npos);
+    EXPECT_NE(out.find("1|"), std::string::npos);
+    EXPECT_NE(out.find("phase 0 CI convergence"), std::string::npos);
+    EXPECT_NE(out.find("phase 1 CI convergence"), std::string::npos);
+    EXPECT_NE(out.find("closed"), std::string::npos);
+    EXPECT_NE(out.find("host perf"), std::string::npos);
+}
+
+TEST(ObsAnalyzeCheck, GoldenReportsPass)
+{
+    for (const char *name : {"golden_a.json", "golden_b.json"}) {
+        const CheckResult res =
+            pgss::obs::checkReport(loadGolden(name));
+        EXPECT_TRUE(res.ok()) << name << ": "
+                              << (res.violations.empty()
+                                      ? ""
+                                      : res.violations[0]);
+    }
+}
+
+TEST(ObsAnalyzeCheck, CatchesSchemaAndAlignmentViolations)
+{
+    LoadedReport r;
+    std::string err;
+    // Misaligned convergence arrays and a backwards op axis.
+    ASSERT_TRUE(pgss::obs::loadReportFromString(
+        "{\"schema\":\"pgss-run-report\",\"schema_version\":1,"
+        "\"program\":\"x\",\"perf\":{},\"stats\":{},"
+        "\"timelines\":{\"schema_version\":1,"
+        "\"counters\":{\"op\":[10,5],\"series\":{\"c\":[1]}},"
+        "\"runs\":[{\"label\":\"r\",\"convergence\":{\"0\":"
+        "{\"op\":[1,2],\"samples\":[2,1],\"mean\":[1,1],"
+        "\"ci_rel\":[0.1,0.1],\"closed\":[0]}}}]}}",
+        r, &err))
+        << err;
+    const CheckResult res = pgss::obs::checkReport(r);
+    EXPECT_FALSE(res.ok());
+    // Backwards counter axis, series misalignment, decreasing sample
+    // count, and misaligned 'closed' array are all distinct findings.
+    EXPECT_GE(res.violations.size(), 4u);
+
+    LoadedReport wrong;
+    ASSERT_TRUE(pgss::obs::loadReportFromString(
+        "{\"schema\":\"other\",\"program\":\"\"}", wrong, &err));
+    const CheckResult res2 = pgss::obs::checkReport(wrong);
+    EXPECT_GE(res2.violations.size(), 4u); // schema, version,
+                                           // program, perf, stats
+}
+
+TEST(ObsAnalyzeCheck, PartialReportIsWarningNotViolation)
+{
+    LoadedReport r;
+    std::string err;
+    ASSERT_TRUE(pgss::obs::loadReportFromString(
+        "{\"schema\":\"pgss-run-report\",\"schema_version\":1,"
+        "\"program\":\"x\",\"partial\":true,\"perf\":{},"
+        "\"stats\":{}}",
+        r, &err))
+        << err;
+    const CheckResult res = pgss::obs::checkReport(r);
+    EXPECT_TRUE(res.ok());
+    EXPECT_FALSE(res.warnings.empty());
+}
+
+TEST(ObsAnalyzeTrace, CleanStreamPasses)
+{
+    std::istringstream in(
+        "{\"t\":0.1,\"op\":100,\"ev\":\"phase\",\"phase\":0}\n"
+        "{\"t\":0.2,\"op\":150,\"ev\":\"sample_open\"}\n"
+        "{\"t\":0.3,\"op\":200,\"ev\":\"sample_close\"}\n"
+        "{\"t\":0.4,\"op\":300,\"ev\":\"eof\",\"emitted\":3,"
+        "\"dropped\":0}\n");
+    const CheckResult res = pgss::obs::checkTrace(in);
+    EXPECT_TRUE(res.ok()) << res.violations[0];
+    EXPECT_TRUE(res.warnings.empty());
+    EXPECT_EQ(res.trace_events, 3u);
+}
+
+TEST(ObsAnalyzeTrace, CatchesOrderingAndAccountingViolations)
+{
+    // Backwards timestamp, double-open, close-without-open, and an
+    // eof accounting mismatch.
+    std::istringstream in(
+        "{\"t\":0.5,\"op\":100,\"ev\":\"sample_open\"}\n"
+        "{\"t\":0.4,\"op\":120,\"ev\":\"sample_open\"}\n"
+        "{\"t\":0.6,\"op\":140,\"ev\":\"sample_close\"}\n"
+        "{\"t\":0.7,\"op\":150,\"ev\":\"sample_close\"}\n"
+        "{\"t\":0.8,\"op\":160,\"ev\":\"eof\",\"emitted\":9,"
+        "\"dropped\":0}\n");
+    const CheckResult res = pgss::obs::checkTrace(in);
+    EXPECT_FALSE(res.ok());
+    EXPECT_GE(res.violations.size(), 4u);
+}
+
+TEST(ObsAnalyzeTrace, EngineRestartImplicitlyClosesSamples)
+{
+    // Op moving backwards = a new engine: the open sample from the
+    // previous engine is implicitly closed, not a violation.
+    std::istringstream in(
+        "{\"t\":0.1,\"op\":500,\"ev\":\"sample_open\"}\n"
+        "{\"t\":0.2,\"op\":50,\"ev\":\"sample_open\"}\n"
+        "{\"t\":0.3,\"op\":90,\"ev\":\"sample_close\"}\n");
+    const CheckResult res = pgss::obs::checkTrace(in);
+    EXPECT_TRUE(res.ok()) << res.violations[0];
+    // Missing eof is a warning (interrupted run), not a violation.
+    ASSERT_FALSE(res.warnings.empty());
+    EXPECT_NE(res.warnings.back().find("eof"), std::string::npos);
+}
+
+TEST(ObsAnalyzeTrace, UnparseableAndMissingFieldsAreViolations)
+{
+    std::istringstream in(
+        "not json\n"
+        "{\"t\":0.1,\"ev\":\"phase\"}\n"
+        "{\"t\":0.2,\"op\":10,\"ev\":\"eof\",\"emitted\":0,"
+        "\"dropped\":0}\n"
+        "{\"t\":0.3,\"op\":20,\"ev\":\"phase\"}\n");
+    const CheckResult res = pgss::obs::checkTrace(in);
+    ASSERT_EQ(res.violations.size(), 3u);
+    EXPECT_NE(res.violations[0].find("line 1"), std::string::npos);
+    EXPECT_NE(res.violations[1].find("line 2"), std::string::npos);
+    EXPECT_NE(res.violations[2].find("after eof"), std::string::npos);
+}
+
+TEST(ObsAnalyzeTrace, RingDropsAreAccountedAndWarned)
+{
+    std::istringstream in(
+        "{\"t\":0.1,\"op\":10,\"ev\":\"phase\"}\n"
+        "{\"t\":0.2,\"op\":20,\"ev\":\"eof\",\"emitted\":4,"
+        "\"dropped\":3}\n");
+    const CheckResult res = pgss::obs::checkTrace(in);
+    EXPECT_TRUE(res.ok()) << res.violations[0];
+    ASSERT_FALSE(res.warnings.empty());
+    EXPECT_NE(res.warnings[0].find("3 events dropped"),
+              std::string::npos);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * JSON escaping regressions (control characters and non-ASCII bytes
+ * in stat names must never produce invalid JSON) and round-trips
+ * through the json_read parser that backs tools/pgss_report.
+ */
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/json_read.hh"
+
+using pgss::obs::JsonValue;
+using pgss::obs::JsonWriter;
+using pgss::obs::jsonEscape;
+using pgss::obs::parseJson;
+
+TEST(ObsJsonEscape, ShorthandEscapes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape("a\bb"), "a\\bb");
+    EXPECT_EQ(jsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(ObsJsonEscape, ControlCharactersBecomeUnicodeEscapes)
+{
+    // Control characters without a shorthand must become \u00XX, not
+    // raw bytes (raw controls make the document unparseable).
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x00')), "\\u0000");
+}
+
+TEST(ObsJsonEscape, ValidUtf8PassesThrough)
+{
+    const std::string two = "\xc3\xa9";         // é
+    const std::string three = "\xe2\x82\xac";   // €
+    const std::string four = "\xf0\x9f\x98\x80"; // emoji
+    EXPECT_EQ(jsonEscape(two), two);
+    EXPECT_EQ(jsonEscape(three), three);
+    EXPECT_EQ(jsonEscape(four), four);
+}
+
+TEST(ObsJsonEscape, InvalidBytesBecomeLatin1Escapes)
+{
+    // A stray continuation byte, a truncated sequence, an overlong
+    // encoding, and a UTF-16 surrogate: each byte escapes separately
+    // so no data is lost and the output is valid UTF-8.
+    EXPECT_EQ(jsonEscape("\x80"), "\\u0080");
+    EXPECT_EQ(jsonEscape("\xc3"), "\\u00c3");          // truncated
+    EXPECT_EQ(jsonEscape("\xc0\xaf"), "\\u00c0\\u00af"); // overlong
+    EXPECT_EQ(jsonEscape("\xed\xa0\x80"),
+              "\\u00ed\\u00a0\\u0080"); // surrogate U+D800
+    EXPECT_EQ(jsonEscape("ok\xffok"), "ok\\u00ffok");
+}
+
+TEST(ObsJsonEscape, StatNameWithControlsStaysParseable)
+{
+    // The regression that motivated the fix: a stat name containing a
+    // newline and a tab must survive writer -> parser intact.
+    const std::string name = "weird\nname\twith\x01控制";
+    JsonWriter w;
+    w.beginObject();
+    w.field(name, std::uint64_t{7});
+    w.endObject();
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(w.str(), doc, &err)) << err;
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.object.size(), 1u);
+    EXPECT_EQ(doc.object[0].first, name);
+    EXPECT_EQ(doc.object[0].second.asUint(), 7u);
+}
+
+TEST(ObsJsonRead, ParsesScalarsAndNesting)
+{
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(
+        "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null},"
+        " \"e\": \"hi\"}",
+        doc, &err))
+        << err;
+    const JsonValue *a = doc.get("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[1].asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(a->array[2].asNumber(), -300.0);
+    const JsonValue *b = doc.get("b");
+    ASSERT_TRUE(b && b->isObject());
+    EXPECT_TRUE(b->get("c")->boolean);
+    EXPECT_TRUE(b->get("d")->isNull());
+    // Null reads as NaN: the writer emits non-finite doubles as null.
+    EXPECT_TRUE(std::isnan(b->get("d")->asNumber()));
+    EXPECT_EQ(doc.get("e")->string, "hi");
+}
+
+TEST(ObsJsonRead, ParsesStringEscapes)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(
+        "\"a\\n\\t\\\"\\\\\\u0041\\u00e9\\ud83d\\ude00\"", doc));
+    EXPECT_EQ(doc.string, "a\n\t\"\\A\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(ObsJsonRead, RejectsMalformedInput)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\": }", doc, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parseJson("[1, 2", doc));
+    EXPECT_FALSE(parseJson("{} trailing", doc));
+    EXPECT_FALSE(parseJson("\"\\ud800\"", doc)); // lone surrogate
+    EXPECT_FALSE(parseJson("\"raw\ncontrol\"", doc));
+    EXPECT_FALSE(parseJson("nul", doc));
+    EXPECT_FALSE(parseJson("", doc));
+}
+
+TEST(ObsJsonRead, WriterOutputRoundTrips)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("nan", std::nan(""));
+    w.field("neg", std::int64_t{-42});
+    w.beginArray("xs");
+    w.value(1.25);
+    w.value(std::uint64_t{18446744073709551615ull});
+    w.endArray();
+    w.endObject();
+    ASSERT_TRUE(w.complete());
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(w.str(), doc, &err)) << err;
+    EXPECT_TRUE(doc.get("nan")->isNull());
+    EXPECT_DOUBLE_EQ(doc.get("neg")->asNumber(), -42.0);
+    EXPECT_DOUBLE_EQ(doc.get("xs")->array[0].asNumber(), 1.25);
+}

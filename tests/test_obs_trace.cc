@@ -99,10 +99,10 @@ TEST(ObsTrace, FileSinkWritesOneJsonLinePerEvent)
         sink.emit(TraceKind::ThresholdAdjust, 9, 0, 0, 0.125);
         sink.flush();
         sink.emit(TraceKind::SampleOpen, 11);
-    } // destructor drains the tail
+    } // destructor drains the tail and appends the eof accounting line
 
     const std::vector<std::string> lines = readLines(path);
-    ASSERT_EQ(lines.size(), 3u);
+    ASSERT_EQ(lines.size(), 4u);
     EXPECT_NE(lines[0].find("\"ev\":\"mode_switch\""),
               std::string::npos);
     EXPECT_NE(lines[0].find("\"op\":5"), std::string::npos);
@@ -111,6 +111,9 @@ TEST(ObsTrace, FileSinkWritesOneJsonLinePerEvent)
     EXPECT_NE(lines[1].find("0.125"), std::string::npos);
     EXPECT_NE(lines[2].find("\"ev\":\"sample_open\""),
               std::string::npos);
+    EXPECT_NE(lines[3].find("\"ev\":\"eof\""), std::string::npos);
+    EXPECT_NE(lines[3].find("\"emitted\":3"), std::string::npos);
+    EXPECT_NE(lines[3].find("\"dropped\":0"), std::string::npos);
     for (const std::string &line : lines) {
         EXPECT_EQ(line.front(), '{');
         EXPECT_EQ(line.back(), '}');

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * pgss_report — offline analysis of run-report JSON and trace JSONL
+ * artefacts produced by the observability layer (DESIGN.md section 8).
+ *
+ *   pgss_report show report.json          render tables + timelines
+ *   pgss_report report.json               same ("show" is the default)
+ *   pgss_report diff a.json b.json        percent deltas, A vs B
+ *   pgss_report check report.json [trace.jsonl]
+ *                                         sanity checks; exit 1 on any
+ *                                         violation (the CI gate)
+ *
+ * All output is plain text so it survives CI logs and grep.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.hh"
+
+namespace
+{
+
+using pgss::obs::CheckResult;
+using pgss::obs::LoadedReport;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: pgss_report [show] <report.json>\n"
+        << "       pgss_report diff <a.json> <b.json>\n"
+        << "       pgss_report check <report.json> [trace.jsonl]\n";
+    return 2;
+}
+
+bool
+load(const std::string &path, LoadedReport &out)
+{
+    std::string err;
+    if (pgss::obs::loadReport(path, out, &err)) {
+        return true;
+    }
+    std::cerr << "pgss_report: " << err << "\n";
+    return false;
+}
+
+void
+printCheck(const std::string &what, const CheckResult &res)
+{
+    for (const std::string &v : res.violations)
+        std::cout << "VIOLATION " << what << ": " << v << "\n";
+    for (const std::string &w : res.warnings)
+        std::cout << "warning " << what << ": " << w << "\n";
+}
+
+int
+cmdShow(const std::string &path)
+{
+    LoadedReport report;
+    if (!load(path, report))
+        return 1;
+    pgss::obs::renderReport(std::cout, report);
+    return 0;
+}
+
+int
+cmdDiff(const std::string &path_a, const std::string &path_b)
+{
+    LoadedReport a, b;
+    if (!load(path_a, a) || !load(path_b, b))
+        return 1;
+    pgss::obs::renderDiff(std::cout, a, b);
+    return 0;
+}
+
+int
+cmdCheck(const std::string &report_path,
+         const std::string &trace_path)
+{
+    LoadedReport report;
+    if (!load(report_path, report))
+        return 1;
+    CheckResult total = pgss::obs::checkReport(report);
+    printCheck("report", total);
+
+    if (!trace_path.empty()) {
+        std::ifstream trace(trace_path, std::ios::binary);
+        if (!trace) {
+            std::cerr << "pgss_report: cannot open '" << trace_path
+                      << "'\n";
+            return 1;
+        }
+        const CheckResult tres = pgss::obs::checkTrace(trace);
+        printCheck("trace", tres);
+        std::cout << tres.trace_events << " trace events checked\n";
+        total.merge(tres);
+    }
+
+    if (!total.ok()) {
+        std::cout << "FAIL: " << total.violations.size()
+                  << " violation(s)\n";
+        return 1;
+    }
+    std::cout << "OK ("
+              << total.warnings.size() << " warning(s))\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "-h" || args[0] == "--help")
+        return usage();
+
+    if (args[0] == "diff")
+        return args.size() == 3 ? cmdDiff(args[1], args[2]) : usage();
+    if (args[0] == "check") {
+        if (args.size() < 2 || args.size() > 3)
+            return usage();
+        return cmdCheck(args[1], args.size() == 3 ? args[2] : "");
+    }
+    if (args[0] == "show")
+        return args.size() == 2 ? cmdShow(args[1]) : usage();
+    return args.size() == 1 ? cmdShow(args[0]) : usage();
+}
