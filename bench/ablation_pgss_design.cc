@@ -88,24 +88,39 @@ main(int argc, char **argv)
 
     const std::vector<std::string> names = {"164.gzip", "179.art",
                                             "183.equake"};
-    std::vector<bench::Entry> entries;
-    for (const std::string &n : names)
-        entries.push_back(bench::loadEntry(n));
+    std::vector<bench::Entry> entries(names.size());
+    bench::runEntriesParallel(names.size(), [&](std::size_t i) {
+        entries[i] = bench::loadEntry(names[i]);
+    });
 
-    for (const bench::Entry &e : entries) {
+    // (entry, variant) runs are independent: fill the result grid on
+    // the harness workers, print serially so output is identical at
+    // any PGSS_JOBS.
+    const std::vector<Variant> vars = variants(bench::benchConfig());
+    std::vector<std::vector<core::PgssResult>> results(
+        entries.size(), std::vector<core::PgssResult>(vars.size()));
+    bench::runEntriesParallel(entries.size(), [&](std::size_t b) {
+        for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+            sim::SimulationEngine engine(entries[b].built.program,
+                                         vars[vi].engine);
+            results[b][vi] =
+                core::PgssController(vars[vi].config).run(engine);
+        }
+    });
+
+    for (std::size_t b = 0; b < entries.size(); ++b) {
+        const bench::Entry &e = entries[b];
         std::printf("\n-- %s (true IPC %.3f) --\n", e.short_name.c_str(),
                     e.profile.trueIpc());
         util::Table t;
         t.setHeader({"variant", "error", "samples", "detailed ops",
                      "phases"});
-        for (const Variant &v : variants(bench::benchConfig())) {
-            sim::SimulationEngine engine(e.built.program, v.engine);
-            const core::PgssResult r =
-                core::PgssController(v.config).run(engine);
+        for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+            const core::PgssResult &r = results[b][vi];
             const double err =
                 std::abs(r.est_ipc - e.profile.trueIpc()) /
                 e.profile.trueIpc();
-            t.addRow({v.name, util::Table::fmtPercent(err, 2),
+            t.addRow({vars[vi].name, util::Table::fmtPercent(err, 2),
                       std::to_string(r.n_samples),
                       util::Table::fmtCount(r.detailed_ops),
                       std::to_string(r.n_phases)});

@@ -63,11 +63,13 @@ main(int argc, char **argv)
             header.push_back(util::Table::fmt(th, 2));
         t.setHeader(header);
 
-        std::vector<std::vector<double>> errs(
-            std::size(thresholds));
-        std::vector<std::vector<std::string>> rows;
-        for (const bench::Entry &e : suite) {
-            std::vector<std::string> row = {e.short_name};
+        // cell[workload][threshold], filled on the harness workers;
+        // rows print serially below so output is PGSS_JOBS-invariant.
+        std::vector<std::vector<double>> cell(
+            suite.size(),
+            std::vector<double>(std::size(thresholds), 0.0));
+        bench::runEntriesParallel(suite.size(), [&](std::size_t b) {
+            const bench::Entry &e = suite[b];
             for (std::size_t ti = 0; ti < std::size(thresholds);
                  ++ti) {
                 core::PgssConfig cfg;
@@ -78,11 +80,21 @@ main(int argc, char **argv)
                                              bench::benchConfig());
                 const core::PgssResult r =
                     core::PgssController(cfg).run(engine);
-                const double err =
+                cell[b][ti] =
                     std::abs(r.est_ipc - e.profile.trueIpc()) /
                     e.profile.trueIpc();
-                errs[ti].push_back(err);
-                row.push_back(util::Table::fmtPercent(err, 2));
+            }
+        });
+
+        std::vector<std::vector<double>> errs(
+            std::size(thresholds));
+        for (std::size_t b = 0; b < suite.size(); ++b) {
+            std::vector<std::string> row = {suite[b].short_name};
+            for (std::size_t ti = 0; ti < std::size(thresholds);
+                 ++ti) {
+                errs[ti].push_back(cell[b][ti]);
+                row.push_back(
+                    util::Table::fmtPercent(cell[b][ti], 2));
             }
             t.addRow(row);
         }
@@ -120,9 +132,10 @@ main(int argc, char **argv)
                 "threshold 0.05 pi --\n");
     util::Table ab;
     ab.setHeader({"benchmark", "100k", "1M", "10M"});
-    std::vector<std::vector<double>> ab_errs(std::size(periods));
-    for (const bench::Entry &e : suite) {
-        std::vector<std::string> row = {e.short_name};
+    std::vector<std::vector<double>> ab_cell(
+        suite.size(), std::vector<double>(std::size(periods), 0.0));
+    bench::runEntriesParallel(suite.size(), [&](std::size_t b) {
+        const bench::Entry &e = suite[b];
         for (std::size_t pi = 0; pi < std::size(periods); ++pi) {
             core::PgssConfig cfg;
             cfg.bbv_period = periods[pi];
@@ -132,11 +145,18 @@ main(int argc, char **argv)
                                          bench::benchConfig());
             const core::PgssResult r =
                 core::PgssController(cfg).run(engine);
-            const double err =
+            ab_cell[b][pi] =
                 std::abs(r.est_ipc - e.profile.trueIpc()) /
                 e.profile.trueIpc();
-            ab_errs[pi].push_back(err);
-            row.push_back(util::Table::fmtPercent(err, 2));
+        }
+    });
+    std::vector<std::vector<double>> ab_errs(std::size(periods));
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        std::vector<std::string> row = {suite[b].short_name};
+        for (std::size_t pi = 0; pi < std::size(periods); ++pi) {
+            ab_errs[pi].push_back(ab_cell[b][pi]);
+            row.push_back(
+                util::Table::fmtPercent(ab_cell[b][pi], 2));
         }
         ab.addRow(row);
     }

@@ -79,7 +79,17 @@ main(int argc, char **argv)
     TechniqueSeries pgss_best{"PGSS(best)", {}};
     TechniqueSeries pgss_fixed{"PGSS(1M/.05)", {}};
 
-    for (const bench::Entry &e : suite) {
+    // Workloads are independent: compute every technique's cell for
+    // workload b into slot b (possibly on a harness worker thread),
+    // then print the tables serially below — output is identical at
+    // any PGSS_JOBS.
+    for (TechniqueSeries *s : {&smarts, &turbo, &sp_best, &sp_fixed,
+                               &ol_best, &ol_fixed, &pgss_best,
+                               &pgss_fixed})
+        s->cells.resize(suite.size());
+
+    bench::runEntriesParallel(suite.size(), [&](std::size_t b) {
+        const bench::Entry &e = suite[b];
         const double true_ipc = e.profile.trueIpc();
         std::fprintf(stderr, "fig12: %s...\n", e.short_name.c_str());
 
@@ -90,12 +100,11 @@ main(int argc, char **argv)
                                          bench::benchConfig());
             const sampling::SmartsRun run =
                 sampling::runSmarts(engine);
-            smarts.cells.push_back({run.result.errorVs(true_ipc),
-                                    run.result.detailed_ops});
+            smarts.cells[b] = {run.result.errorVs(true_ipc),
+                               run.result.detailed_ops};
             const sampling::SamplerResult tb =
                 sampling::runTurboSmarts(run.sample_cpis);
-            turbo.cells.push_back(
-                {tb.errorVs(true_ipc), tb.detailed_ops});
+            turbo.cells[b] = {tb.errorVs(true_ipc), tb.detailed_ops};
         }
 
         // ---- Offline SimPoint: 11 clusterings over 3 collections.
@@ -127,8 +136,8 @@ main(int argc, char **argv)
                         fixed = cell;
                 }
             }
-            sp_best.cells.push_back(best);
-            sp_fixed.cells.push_back(fixed);
+            sp_best.cells[b] = best;
+            sp_fixed.cells[b] = fixed;
         }
 
         // ---- Online SimPoint (perfect predictor over the profile).
@@ -150,8 +159,8 @@ main(int argc, char **argv)
                         fixed = cell;
                 }
             }
-            ol_best.cells.push_back(best);
-            ol_fixed.cells.push_back(fixed);
+            ol_best.cells[b] = best;
+            ol_fixed.cells[b] = fixed;
         }
 
         // ---- PGSS: fixed (1M, 0.05 pi) plus a best-of grid.
@@ -177,10 +186,10 @@ main(int argc, char **argv)
                         fixed = cell;
                 }
             }
-            pgss_best.cells.push_back(best);
-            pgss_fixed.cells.push_back(fixed);
+            pgss_best.cells[b] = best;
+            pgss_fixed.cells[b] = fixed;
         }
-    }
+    });
 
     const TechniqueSeries *all[] = {&smarts,   &turbo,   &sp_best,
                                     &sp_fixed, &ol_best, &ol_fixed,

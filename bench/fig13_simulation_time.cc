@@ -162,32 +162,41 @@ main(int argc, char **argv)
                 "(paper: ~1%%)\n",
                 100.0 * (r_det / r_det_bbv - 1.0));
 
-    // Per-technique op counts over the whole suite.
-    double smarts_ff = 0, smarts_det = 0;
-    double sp_ff = 0, sp_det = 0;
-    double ol_ff = 0, ol_det = 0;
-    double pgss_ff = 0, pgss_det = 0;
-
-    for (const bench::Entry &e : bench::loadSuite()) {
+    // Per-technique op counts over the whole suite. Each entry's
+    // contributions land in slot b (computed on harness workers);
+    // summation happens serially in suite order afterwards, so totals
+    // are bit-identical at any PGSS_JOBS.
+    struct EntryOps
+    {
+        double smarts_ff = 0, smarts_det = 0;
+        double sp_ff = 0, sp_det = 0;
+        double ol_ff = 0, ol_det = 0;
+        double pgss_ff = 0, pgss_det = 0;
+    };
+    const std::vector<bench::Entry> suite = bench::loadSuite();
+    std::vector<EntryOps> per_entry(suite.size());
+    bench::runEntriesParallel(suite.size(), [&](std::size_t b) {
+        const bench::Entry &e = suite[b];
+        EntryOps &out = per_entry[b];
         const double n =
             static_cast<double>(e.profile.totalOps());
 
         // SMARTS: functional warming between 4k-op sample windows.
         const double smarts_samples = n / 1'004'000.0;
-        smarts_det += smarts_samples * 4'000.0;
-        smarts_ff += n - smarts_samples * 4'000.0;
+        out.smarts_det = smarts_samples * 4'000.0;
+        out.smarts_ff = n - smarts_samples * 4'000.0;
 
         // SimPoint (10 clusters x 10M): one fast BBV-collection pass
         // plus a fast pass to reach the points, plus the details.
-        sp_ff += 2.0 * n;
-        sp_det += 10.0 * 10e6;
+        out.sp_ff = 2.0 * n;
+        out.sp_det = 10.0 * 10e6;
 
         // Online SimPoint (10M, 0.1 pi): one warm pass with BBV, one
         // 10M-op detailed sample per phase.
         const analysis::PhaseSequence seq = analysis::classifyProfile(
             e.profile.aggregate(100), 0.1 * M_PI);
-        ol_ff += n;
-        ol_det += seq.n_phases * 10e6;
+        out.ol_ff = n;
+        out.ol_det = seq.n_phases * 10e6;
 
         // PGSS (1M, 0.05 pi): run it live for honest counts.
         core::PgssConfig cfg;
@@ -196,9 +205,24 @@ main(int argc, char **argv)
                                      bench::benchConfig());
         const core::PgssResult r =
             core::PgssController(cfg).run(engine);
-        pgss_ff += static_cast<double>(
-            r.mode_ops.functional_warm);
-        pgss_det += static_cast<double>(r.detailed_ops);
+        out.pgss_ff =
+            static_cast<double>(r.mode_ops.functional_warm);
+        out.pgss_det = static_cast<double>(r.detailed_ops);
+    });
+
+    double smarts_ff = 0, smarts_det = 0;
+    double sp_ff = 0, sp_det = 0;
+    double ol_ff = 0, ol_det = 0;
+    double pgss_ff = 0, pgss_det = 0;
+    for (const EntryOps &out : per_entry) {
+        smarts_ff += out.smarts_ff;
+        smarts_det += out.smarts_det;
+        sp_ff += out.sp_ff;
+        sp_det += out.sp_det;
+        ol_ff += out.ol_ff;
+        ol_det += out.ol_det;
+        pgss_ff += out.pgss_ff;
+        pgss_det += out.pgss_det;
     }
 
     util::Table t("estimated total simulation time, ten-workload "

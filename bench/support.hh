@@ -10,6 +10,8 @@
 #ifndef PGSS_BENCH_SUPPORT_HH
 #define PGSS_BENCH_SUPPORT_HH
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,8 +60,25 @@ const sim::EngineConfig &benchConfig();
  */
 Entry loadEntry(const std::string &name);
 
-/** loadEntry() over the paper's ten evaluation workloads. */
+/**
+ * loadEntry() over the paper's ten evaluation workloads. Entries load
+ * (and ground-truth profiles build) on benchJobs() workers; the
+ * returned order is always suite order.
+ */
 std::vector<Entry> loadSuite();
+
+/** Harness worker threads (PGSS_JOBS env; default 1 = serial). */
+std::size_t benchJobs();
+
+/**
+ * Run @p body(i) for every index in [0, n) on benchJobs() workers.
+ * The per-entry convention that keeps parallel output identical to a
+ * serial run: compute into pre-sized index-addressed slots inside
+ * @p body, print serially afterwards. With PGSS_JOBS=1 (default) this
+ * is a plain in-order loop on the calling thread.
+ */
+void runEntriesParallel(std::size_t n,
+                        const std::function<void(std::size_t)> &body);
 
 /** Print the standard bench header (figure id, scale, note). */
 void printHeader(const std::string &figure, const std::string &note);

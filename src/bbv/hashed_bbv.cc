@@ -27,10 +27,19 @@ BitSelectHash::BitSelectHash(const HashedBbvConfig &config)
     for (std::uint32_t p : picks)
         bits_.push_back(config.bit_range_lo + p);
     std::sort(bits_.begin(), bits_.end());
+
+    if (span <= 16) {
+        lut_shift_ = config.bit_range_lo;
+        lut_mask_ = (std::uint64_t{1} << span) - 1;
+        lut_.resize(std::size_t{1} << span);
+        for (std::uint64_t v = 0; v <= lut_mask_; ++v)
+            lut_[v] = static_cast<std::uint16_t>(
+                gather(v << lut_shift_));
+    }
 }
 
 std::uint32_t
-BitSelectHash::operator()(std::uint64_t addr) const
+BitSelectHash::gather(std::uint64_t addr) const
 {
     std::uint32_t index = 0;
     for (std::uint32_t b : bits_)

@@ -43,14 +43,30 @@ class BitSelectHash
   public:
     explicit BitSelectHash(const HashedBbvConfig &config);
 
-    /** Index for @p addr, in [0, 2^hash_bits). */
-    std::uint32_t operator()(std::uint64_t addr) const;
+    /**
+     * Index for @p addr, in [0, 2^hash_bits). This sits on the
+     * fast-forward hot path (once per taken branch), so when the
+     * configured bit range spans <= 16 bits — always, with default
+     * geometry — the bit gather is precomputed into a table and a
+     * lookup replaces the per-bit loop.
+     */
+    std::uint32_t operator()(std::uint64_t addr) const
+    {
+        if (!lut_.empty())
+            return lut_[(addr >> lut_shift_) & lut_mask_];
+        return gather(addr);
+    }
 
     /** The selected bit positions (ascending), for diagnostics. */
     const std::vector<std::uint32_t> &bits() const { return bits_; }
 
   private:
+    std::uint32_t gather(std::uint64_t addr) const;
+
     std::vector<std::uint32_t> bits_;
+    std::vector<std::uint16_t> lut_; ///< empty when span > 16 bits
+    std::uint32_t lut_shift_ = 0;
+    std::uint64_t lut_mask_ = 0;
 };
 
 /** Accumulator file plus harvest logic. */

@@ -1,32 +1,9 @@
 #include "cpu/functional_core.hh"
 
-#include <cstring>
-
 #include "util/logging.hh"
 
 namespace pgss::cpu
 {
-
-namespace
-{
-
-double
-asDouble(std::uint64_t bits)
-{
-    double d;
-    std::memcpy(&d, &bits, sizeof(d));
-    return d;
-}
-
-std::uint64_t
-asBits(double d)
-{
-    std::uint64_t bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    return bits;
-}
-
-} // anonymous namespace
 
 FunctionalCore::FunctionalCore(const isa::Program &program,
                                mem::MainMemory &memory)
@@ -129,21 +106,19 @@ FunctionalCore::step(DynInst &rec)
         setReg(inst.rd, a * b);
         break;
       case Opcode::Div:
-        // RISC-V convention: divide by zero yields all ones.
-        setReg(inst.rd,
-               b == 0 ? ~0ull
-                      : static_cast<std::uint64_t>(
-                            static_cast<std::int64_t>(a) /
-                            static_cast<std::int64_t>(b)));
+        setReg(inst.rd, detail::divSigned(a, b));
         break;
       case Opcode::Fadd:
-        setReg(inst.rd, asBits(asDouble(a) + asDouble(b)));
+        setReg(inst.rd, detail::asBits(detail::asDouble(a) +
+                                       detail::asDouble(b)));
         break;
       case Opcode::Fmul:
-        setReg(inst.rd, asBits(asDouble(a) * asDouble(b)));
+        setReg(inst.rd, detail::asBits(detail::asDouble(a) *
+                                       detail::asDouble(b)));
         break;
       case Opcode::Fdiv:
-        setReg(inst.rd, asBits(asDouble(a) / asDouble(b)));
+        setReg(inst.rd, detail::asBits(detail::asDouble(a) /
+                                       detail::asDouble(b)));
         break;
       case Opcode::Ld: {
         const std::uint64_t addr =
@@ -199,6 +174,44 @@ FunctionalCore::step(DynInst &rec)
     pc_ = next;
     ++retired_;
     return true;
+}
+
+void
+FunctionalCore::buildFastTable()
+{
+    fast_table_.clear();
+    fast_table_.reserve(program_.code.size());
+    for (const isa::Instruction &inst : program_.code) {
+        FastOp f;
+        f.imm = inst.imm;
+        f.op = inst.op;
+        // Writes to r0 are redirected to the scratch slot past the
+        // architectural file, so the dispatch loop stores
+        // unconditionally.
+        f.rd = inst.rd == isa::reg_zero
+                   ? static_cast<std::uint8_t>(isa::num_regs)
+                   : inst.rd;
+        f.rs1 = inst.rs1;
+        f.rs2 = inst.rs2;
+        fast_table_.push_back(f);
+    }
+}
+
+std::uint64_t
+FunctionalCore::runFast(std::uint64_t n, BbvSink *sink)
+{
+    if (!sink) {
+        std::uint64_t since = 0;
+        return runFastWith(n, since,
+                           [](std::uint64_t, std::uint64_t) {});
+    }
+    // The virtual dispatch per taken branch only exists on this
+    // wrapper path; in-tree consumers that care (the engine) call
+    // runFastWith() directly with an inlinable callback.
+    return runFastWith(n, sink->pending_ops,
+                       [sink](std::uint64_t addr, std::uint64_t ops) {
+                           sink->onTakenBranch(addr, ops);
+                       });
 }
 
 } // namespace pgss::cpu

@@ -8,6 +8,7 @@ namespace pgss::obs
 PerfHandle *
 PerfRegistry::handle(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &h : handles_)
         if (h->name == name)
             return h.get();
@@ -19,6 +20,7 @@ PerfRegistry::handle(const std::string &name)
 std::vector<const PerfHandle *>
 PerfRegistry::handles() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<const PerfHandle *> out;
     out.reserve(handles_.size());
     for (const auto &h : handles_)
@@ -29,22 +31,24 @@ PerfRegistry::handles() const
 void
 PerfRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &h : handles_) {
-        h->calls = 0;
-        h->ops = 0;
-        h->seconds = 0.0;
+        h->calls.store(0, std::memory_order_relaxed);
+        h->ops.store(0, std::memory_order_relaxed);
+        h->seconds.store(0.0, std::memory_order_relaxed);
     }
 }
 
 void
 PerfRegistry::dumpJson(JsonWriter &w) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     w.beginObject("perf");
     for (const auto &h : handles_) {
         w.beginObject(h->name);
-        w.field("calls", h->calls);
-        w.field("ops", h->ops);
-        w.field("seconds", h->seconds);
+        w.field("calls", h->calls.load(std::memory_order_relaxed));
+        w.field("ops", h->ops.load(std::memory_order_relaxed));
+        w.field("seconds", h->seconds.load(std::memory_order_relaxed));
         w.field("mips", h->mips());
         w.endObject();
     }

@@ -11,13 +11,22 @@
  * then accumulate with two adds per timed section. Accumulation
  * happens per engine.run() chunk (>= a sample window of work), never
  * per instruction.
+ *
+ * Thread safety: handle() resolution is mutex-protected and add() is
+ * lock-free (atomic accumulators), so engines running on different
+ * worker threads (bench::runEntriesParallel) can share the global
+ * registry. Readers (mips(), dumpJson()) see each counter atomically
+ * but not the set of them as one snapshot; dump only after workers
+ * have joined for exact totals.
  */
 
 #ifndef PGSS_OBS_PERF_HH
 #define PGSS_OBS_PERF_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,23 +39,27 @@ class JsonWriter;
 struct PerfHandle
 {
     std::string name;
-    std::uint64_t calls = 0;   ///< timed sections entered
-    std::uint64_t ops = 0;     ///< simulated instructions covered
-    double seconds = 0.0;      ///< host wall-clock accumulated
+    std::atomic<std::uint64_t> calls{0}; ///< timed sections entered
+    std::atomic<std::uint64_t> ops{0};   ///< simulated insts covered
+    std::atomic<double> seconds{0.0};    ///< host wall-clock accumulated
 
     /** Simulated MIPS over the accumulated time (0 when untimed). */
     double mips() const
     {
-        return seconds > 0.0 ? static_cast<double>(ops) / seconds / 1e6
-                             : 0.0;
+        const double s = seconds.load(std::memory_order_relaxed);
+        const auto n = ops.load(std::memory_order_relaxed);
+        return s > 0.0 ? static_cast<double>(n) / s / 1e6 : 0.0;
     }
 
-    /** Add one timed section. */
+    /** Add one timed section (thread-safe). */
     void add(std::uint64_t n_ops, double n_seconds)
     {
-        ++calls;
-        ops += n_ops;
-        seconds += n_seconds;
+        calls.fetch_add(1, std::memory_order_relaxed);
+        ops.fetch_add(n_ops, std::memory_order_relaxed);
+        double cur = seconds.load(std::memory_order_relaxed);
+        while (!seconds.compare_exchange_weak(cur, cur + n_seconds,
+                                              std::memory_order_relaxed)) {
+        }
     }
 };
 
@@ -56,7 +69,7 @@ class PerfRegistry
   public:
     /**
      * Resolve @p name to its accumulator, creating it on first use.
-     * The pointer stays valid for the process lifetime.
+     * The pointer stays valid for the process lifetime. Thread-safe.
      */
     PerfHandle *handle(const std::string &name);
 
@@ -70,6 +83,7 @@ class PerfRegistry
     void dumpJson(JsonWriter &w) const;
 
   private:
+    mutable std::mutex mutex_;
     std::vector<std::unique_ptr<PerfHandle>> handles_;
 };
 

@@ -1,5 +1,6 @@
 #include "obs/stats.hh"
 
+#include <mutex>
 #include <ostream>
 #include <utility>
 
@@ -9,6 +10,18 @@
 
 namespace pgss::obs
 {
+
+namespace
+{
+
+// One lock for every Group mutation in the process: registration is
+// rare (component construction) and may race when worker threads build
+// engines concurrently (bench::runEntriesParallel), while dumps/lookups
+// run after workers join. A single coarse mutex keeps the hot read
+// paths untouched.
+std::mutex g_registration_mutex;
+
+} // anonymous namespace
 
 Group::Group(std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
@@ -32,6 +45,7 @@ Group::checkUnique(const std::string &name) const
 Group &
 Group::child(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(g_registration_mutex);
     for (const auto &c : children_)
         if (c->name() == name)
             return *c;
@@ -44,6 +58,7 @@ void
 Group::addCounter(const std::string &name, const std::string &desc,
                   std::function<std::uint64_t()> get)
 {
+    std::lock_guard<std::mutex> lock(g_registration_mutex);
     checkUnique(name);
     Stat s;
     s.name = name;
@@ -57,6 +72,7 @@ void
 Group::addScalar(const std::string &name, const std::string &desc,
                  std::function<double()> get)
 {
+    std::lock_guard<std::mutex> lock(g_registration_mutex);
     checkUnique(name);
     Stat s;
     s.name = name;
@@ -70,6 +86,7 @@ void
 Group::addFormula(const std::string &name, const std::string &desc,
                   std::function<double()> get)
 {
+    std::lock_guard<std::mutex> lock(g_registration_mutex);
     checkUnique(name);
     Stat s;
     s.name = name;
@@ -84,6 +101,7 @@ Group::addVector(const std::string &name, const std::string &desc,
                  std::vector<std::string> elements,
                  std::function<std::vector<double>()> get)
 {
+    std::lock_guard<std::mutex> lock(g_registration_mutex);
     checkUnique(name);
     util::panicIf(elements.empty(), "vector stat with no elements");
     Stat s;

@@ -22,6 +22,11 @@
  * of one group (duplicate registration panics). The full dotted path
  * ("engine.l1d.miss_ratio") is the stable identifier documented in
  * DESIGN.md section 8 — renaming a stat is a schema change.
+ *
+ * Thread safety: registration (child()/add*()) is serialized by one
+ * process-wide mutex so worker threads may build engines concurrently;
+ * dumps and lookups are unsynchronized reads and must happen while no
+ * thread is registering (in practice: after workers join).
  */
 
 #ifndef PGSS_OBS_STATS_HH

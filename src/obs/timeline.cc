@@ -47,6 +47,7 @@ TimelineRecorder::TimelineRecorder(const TimelineConfig &config)
 void
 TimelineRecorder::advance(std::uint64_t ops_executed)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     global_ops_ += ops_executed;
     if (global_ops_ < next_due_)
         return;
@@ -125,6 +126,7 @@ TimelineRecorder::currentRun()
 void
 TimelineRecorder::beginRun(const std::string &label)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (runs_.size() >= config_.max_runs) {
         ++dropped_runs_;
         dropping_current_ = true;
@@ -137,6 +139,7 @@ TimelineRecorder::beginRun(const std::string &label)
 void
 TimelineRecorder::recordPhase(std::uint64_t op, std::uint32_t phase)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (TimelineRun *run = currentRun())
         run->phase_timeline.record({op, phase});
 }
@@ -147,6 +150,7 @@ TimelineRecorder::recordConvergence(std::uint32_t phase,
                                     std::uint64_t samples, double mean,
                                     double ci_rel, bool closed)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     TimelineRun *run = currentRun();
     if (!run)
         return;
@@ -172,6 +176,7 @@ TimelineRecorder::recordConvergence(std::uint32_t phase,
 std::vector<std::string>
 TimelineRecorder::seriesNames() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
     out.reserve(series_.size());
     for (const SnapshotSeries &s : series_)
@@ -182,6 +187,7 @@ TimelineRecorder::seriesNames() const
 std::vector<double>
 TimelineRecorder::series(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const SnapshotSeries &s : series_)
         if (s.name == name)
             return s.values;
@@ -191,6 +197,7 @@ TimelineRecorder::series(const std::string &name) const
 void
 TimelineRecorder::dumpJson(JsonWriter &w) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     w.beginObject("timelines");
     w.field("schema_version", std::uint64_t{schema_version});
     w.field("interval_ops", interval_);
@@ -271,6 +278,7 @@ TimelineRecorder::dumpJson(JsonWriter &w) const
 void
 TimelineRecorder::writeCsv(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     util::CsvWriter csv(os);
     csv.writeRow({"kind", "run", "key", "op", "value", "samples",
                   "ci_rel", "closed"});

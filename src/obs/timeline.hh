@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,14 @@ struct TimelineRun
  * The process-wide time-series recorder. Install with
  * setTimelineRecorder(); every hook is a no-op free when the global
  * recorder is absent (callers null-check timelines()).
+ *
+ * Thread safety: the hooks (advance(), beginRun(), recordPhase(),
+ * recordConvergence()) serialize on an internal mutex, so engines on
+ * worker threads cannot corrupt the recorder. Counter snapshots pull
+ * live getters, however, so values read from engines running on other
+ * threads are approximate; and runs started concurrently interleave
+ * into one sequence. Parallel benches should prefer recording
+ * timelines only on serial runs.
  */
 class TimelineRecorder
 {
@@ -263,6 +272,7 @@ class TimelineRecorder
     void compactSnapshots();
     TimelineRun *currentRun();
 
+    mutable std::mutex mutex_;
     TimelineConfig config_;
     std::uint64_t interval_;
     std::uint64_t global_ops_ = 0;

@@ -71,6 +71,7 @@ void
 TraceSink::emit(TraceKind kind, std::uint64_t op, std::uint32_t id,
                 std::uint64_t aux, double value)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (count_ == ring_.size()) {
         if (file_) {
             drainToFile();
@@ -161,6 +162,7 @@ TraceSink::drainToFile()
 void
 TraceSink::flush()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!file_)
         return;
     drainToFile();
@@ -170,6 +172,7 @@ TraceSink::flush()
 std::vector<TraceEvent>
 TraceSink::events() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<TraceEvent> out;
     out.reserve(count_);
     const std::size_t start =

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,7 +82,11 @@ class TraceSink
     TraceSink(const TraceSink &) = delete;
     TraceSink &operator=(const TraceSink &) = delete;
 
-    /** Append one event (drains to file when the buffer fills). */
+    /**
+     * Append one event (drains to file when the buffer fills).
+     * Thread-safe: engines on different worker threads may share the
+     * process-wide sink, though their events interleave by arrival.
+     */
     void emit(TraceKind kind, std::uint64_t op, std::uint32_t id = 0,
               std::uint64_t aux = 0, double value = 0.0);
 
@@ -107,6 +112,7 @@ class TraceSink
     void writeEvent(const TraceEvent &e);
     void writeEof();
 
+    mutable std::mutex mutex_;
     std::string path_;
     std::FILE *file_ = nullptr;
     std::vector<TraceEvent> ring_;

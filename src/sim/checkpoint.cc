@@ -1,5 +1,9 @@
 #include "sim/checkpoint.hh"
 
+#include <algorithm>
+
+#include "mem/main_memory.hh"
+#include "util/logging.hh"
 #include "util/serialize.hh"
 
 namespace pgss::sim
@@ -9,7 +13,8 @@ namespace
 {
 
 constexpr std::uint32_t ckpt_magic = 0x5047434b; // "PGCK"
-constexpr std::uint32_t ckpt_version = 1;
+// v2: delta memory images (mem_delta_/mem_total_words_/delta_pages_).
+constexpr std::uint32_t ckpt_version = 2;
 
 void
 putCacheState(util::BinaryWriter &w, const mem::Cache::State &st)
@@ -45,6 +50,46 @@ getCacheState(util::BinaryReader &r)
 
 } // anonymous namespace
 
+void
+Checkpoint::applyDelta(Checkpoint &base, const Checkpoint &delta)
+{
+    util::panicIf(base.mem_delta_,
+                  "applyDelta: base must be a full checkpoint");
+    util::panicIf(!delta.mem_delta_,
+                  "applyDelta: delta must be a delta checkpoint");
+    util::panicIf(base.mem_total_words_ != delta.mem_total_words_,
+                  "applyDelta: memory sizes differ");
+
+    // The delta carries complete non-memory state; only the memory
+    // image needs patching.
+    base.regs_ = delta.regs_;
+    base.pc_ = delta.pc_;
+    base.halted_ = delta.halted_;
+    base.retired_ = delta.retired_;
+    base.ops_since_taken_ = delta.ops_since_taken_;
+    base.warm_fetch_line_ = delta.warm_fetch_line_;
+    base.hierarchy_ = delta.hierarchy_;
+    base.branch_ = delta.branch_;
+
+    const std::uint64_t total = base.mem_total_words_;
+    std::size_t src = 0;
+    for (std::uint32_t page : delta.delta_pages_) {
+        const std::uint64_t first = std::uint64_t{page}
+                                    << mem::MainMemory::page_shift;
+        util::panicIf(first >= total, "applyDelta: page out of range");
+        const std::uint64_t count =
+            std::min(mem::MainMemory::page_words, total - first);
+        util::panicIf(src + count > delta.memory_words_.size(),
+                      "applyDelta: truncated delta payload");
+        std::copy_n(delta.memory_words_.begin() +
+                        static_cast<std::ptrdiff_t>(src),
+                    count,
+                    base.memory_words_.begin() +
+                        static_cast<std::ptrdiff_t>(first));
+        src += count;
+    }
+}
+
 std::vector<std::uint8_t>
 Checkpoint::serialize() const
 {
@@ -55,6 +100,12 @@ Checkpoint::serialize() const
     w.putU8(halted_ ? 1 : 0);
     w.putU64(retired_);
     w.putU64(ops_since_taken_);
+    w.putU64(warm_fetch_line_);
+    w.putU8(mem_delta_ ? 1 : 0);
+    w.putU64(mem_total_words_);
+    std::vector<std::uint64_t> pages(delta_pages_.begin(),
+                                     delta_pages_.end());
+    w.putU64Vec(pages);
     w.putU64Vec(memory_words_);
     putCacheState(w, hierarchy_.l1i);
     putCacheState(w, hierarchy_.l1d);
@@ -85,6 +136,11 @@ Checkpoint::deserialize(const std::vector<std::uint8_t> &data, bool &ok)
     c.halted_ = r.getU8() != 0;
     c.retired_ = r.getU64();
     c.ops_since_taken_ = r.getU64();
+    c.warm_fetch_line_ = r.getU64();
+    c.mem_delta_ = r.getU8() != 0;
+    c.mem_total_words_ = r.getU64();
+    const std::vector<std::uint64_t> pages = r.getU64Vec();
+    c.delta_pages_.assign(pages.begin(), pages.end());
     c.memory_words_ = r.getU64Vec();
     c.hierarchy_.l1i = getCacheState(r);
     c.hierarchy_.l1d = getCacheState(r);

@@ -15,7 +15,9 @@ namespace
 {
 
 constexpr std::uint32_t meta_magic = 0x50474c42; // "PGLB"
-constexpr std::uint32_t meta_version = 1;
+// v2: full EngineConfig mixed into the identity; per-position
+// checkpoint kinds (full/delta) appended to the metadata.
+constexpr std::uint32_t meta_version = 2;
 
 /** FNV-1a over program identity (code + data + entry + config). */
 std::uint64_t
@@ -37,9 +39,41 @@ programIdentity(const isa::Program &program, const EngineConfig &config)
     }
     mix(program.data_bytes);
     mix(program.entry);
-    mix(config.hierarchy.l1d.size_bytes);
-    mix(config.hierarchy.l2.size_bytes);
+    // The full machine configuration: any field that shapes the
+    // checkpointed state (cache/predictor geometry) or the measured
+    // timing must distinguish libraries, else a stale library would
+    // be restored onto a differently-shaped machine.
+    for (const mem::CacheConfig *c :
+         {&config.hierarchy.l1i, &config.hierarchy.l1d,
+          &config.hierarchy.l2}) {
+        mix(c->size_bytes);
+        mix(c->assoc);
+        mix(c->line_bytes);
+    }
+    mix(config.hierarchy.l1_latency);
+    mix(config.hierarchy.l2_latency);
+    mix(config.hierarchy.mem_latency);
     mix(config.branch.predictor_entries);
+    mix(config.branch.history_bits);
+    mix(config.branch.btb_entries);
+    mix(config.branch.ras_depth);
+    mix(config.branch.link_reg);
+    mix(config.pipeline.width);
+    mix(config.pipeline.mispredict_penalty);
+    mix(config.pipeline.taken_branch_bubble);
+    mix(config.pipeline.int_alu_latency);
+    mix(config.pipeline.int_mul_latency);
+    mix(config.pipeline.int_div_latency);
+    mix(config.pipeline.fp_add_latency);
+    mix(config.pipeline.fp_mul_latency);
+    mix(config.pipeline.fp_div_latency);
+    mix(config.pipeline.store_latency);
+    mix(config.pipeline.store_buffer_entries);
+    mix(config.pipeline.bytes_per_inst);
+    mix(config.hashed_bbv.hash_bits);
+    mix(config.hashed_bbv.bit_range_lo);
+    mix(config.hashed_bbv.bit_range_hi);
+    mix(config.hashed_bbv.seed);
     return h;
 }
 
@@ -78,6 +112,7 @@ CheckpointLibrary::record(const isa::Program &program,
     identity_ = programIdentity(program, config);
     stride_ = stride;
     positions_.clear();
+    kinds_.clear();
 
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
@@ -95,25 +130,39 @@ CheckpointLibrary::record(const isa::Program &program,
         }
         at_start = false;
         const std::uint64_t at = engine.totalOps();
-        const Checkpoint ckpt = engine.checkpoint();
+        // A full image every full_interval_th capture bounds the
+        // delta chain a seek must resolve; everything between stores
+        // only the pages its stride dirtied.
+        const bool delta = positions_.size() % full_interval_ != 0;
+        const Checkpoint ckpt =
+            delta ? engine.checkpointDelta() : engine.checkpoint();
         const auto bytes = ckpt.serialize();
         std::ofstream out(checkpointPath(at),
                           std::ios::binary | std::ios::trunc);
-        if (!out) {
-            util::warn("could not write checkpoint at %llu",
-                       static_cast<unsigned long long>(at));
-            continue;
-        }
-        out.write(reinterpret_cast<const char *>(bytes.data()),
-                  static_cast<std::streamsize>(bytes.size()));
         if (out)
-            positions_.push_back(at);
+            out.write(reinterpret_cast<const char *>(bytes.data()),
+                      static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            // A skipped capture would break the delta chain (its
+            // dirty pages are already folded into the engine's
+            // cleared baseline), so stop recording here: everything
+            // written so far stays consistent.
+            util::warn("could not write checkpoint at %llu; "
+                       "stopping the recording pass",
+                       static_cast<unsigned long long>(at));
+            break;
+        }
+        positions_.push_back(at);
+        kinds_.push_back(delta ? 1 : 0);
     }
 
     util::BinaryWriter meta(meta_magic, meta_version);
     meta.putU64(identity_);
     meta.putU64(stride_);
+    meta.putU64(full_interval_);
     meta.putU64Vec(positions_);
+    std::vector<std::uint64_t> kinds(kinds_.begin(), kinds_.end());
+    meta.putU64Vec(kinds);
     if (!meta.writeFile(metaPath()))
         util::warn("could not write checkpoint library metadata");
     return positions_.size();
@@ -131,8 +180,45 @@ CheckpointLibrary::open(const isa::Program &program,
     if (meta.getU64() != identity_)
         return false;
     stride_ = meta.getU64();
+    full_interval_ = meta.getU64();
     positions_ = meta.getU64Vec();
-    return meta.ok();
+    const std::vector<std::uint64_t> kinds = meta.getU64Vec();
+    kinds_.assign(kinds.begin(), kinds.end());
+    if (!meta.ok() || full_interval_ == 0 ||
+        kinds_.size() != positions_.size())
+        return false;
+    return true;
+}
+
+Checkpoint
+CheckpointLibrary::loadFile(std::size_t index) const
+{
+    std::ifstream in(checkpointPath(positions_[index]),
+                     std::ios::binary);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    bool ok = false;
+    Checkpoint ckpt = Checkpoint::deserialize(bytes, ok);
+    util::panicIf(!ok, "corrupt checkpoint in library");
+    return ckpt;
+}
+
+Checkpoint
+CheckpointLibrary::loadResolved(std::size_t index) const
+{
+    // Walk back to the nearest full image, then roll its delta chain
+    // forward through the requested capture. The chain is at most
+    // full_interval_ - 1 deltas long by construction.
+    std::size_t base = index;
+    while (base > 0 && isDeltaAt(base))
+        --base;
+    util::panicIf(isDeltaAt(base),
+                  "checkpoint library chain has no full base");
+    Checkpoint state = loadFile(base);
+    for (std::size_t i = base + 1; i <= index; ++i)
+        Checkpoint::applyDelta(state, loadFile(i));
+    return state;
 }
 
 SeekResult
@@ -148,11 +234,13 @@ CheckpointLibrary::seekTo(SimulationEngine &engine,
     // Best recorded position at or below the target (position 0 is
     // always recorded).
     bool have_best = false;
+    std::size_t best_index = 0;
     std::uint64_t best = 0;
-    for (std::uint64_t p : positions_) {
-        if (p > target_op)
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+        if (positions_[i] > target_op)
             break;
-        best = p;
+        best = positions_[i];
+        best_index = i;
         have_best = true;
     }
 
@@ -161,14 +249,7 @@ CheckpointLibrary::seekTo(SimulationEngine &engine,
     const std::uint64_t here = engine.totalOps();
     const bool engine_usable = here <= target_op;
     if (have_best && (!engine_usable || best > here)) {
-        std::ifstream in(checkpointPath(best), std::ios::binary);
-        std::vector<std::uint8_t> bytes(
-            (std::istreambuf_iterator<char>(in)),
-            std::istreambuf_iterator<char>());
-        bool ok = false;
-        const Checkpoint ckpt = Checkpoint::deserialize(bytes, ok);
-        util::panicIf(!ok, "corrupt checkpoint in library");
-        engine.restore(ckpt);
+        engine.restore(loadResolved(best_index));
         res.restored_at = best;
         res.from_checkpoint = true;
     } else {

@@ -18,6 +18,13 @@
  * (architectural state, memory image, cache tags, predictor tables);
  * the stride bounds their number, and they live on disk, not in
  * memory.
+ *
+ * On-disk layout (metadata v2): most checkpoints are deltas — they
+ * carry only the memory pages written during their stride — with a
+ * full image every fullInterval()th capture bounding the chain a seek
+ * must resolve (Checkpoint::applyDelta). For the paper's workloads,
+ * whose strides touch a small fraction of the data image, this cuts
+ * both record() time and library size by the untouched fraction.
  */
 
 #ifndef PGSS_SIM_CHECKPOINT_LIBRARY_HH
@@ -87,14 +94,35 @@ class CheckpointLibrary
     /** Stride used at record time (0 before record/open). */
     std::uint64_t stride() const { return stride_; }
 
+    /**
+     * Captures between full memory images (default 8; min 1 = every
+     * checkpoint full). Set before record(); open() reads the
+     * recorded layout regardless.
+     */
+    void setFullInterval(std::uint64_t n)
+    {
+        full_interval_ = n ? n : 1;
+    }
+    std::uint64_t fullInterval() const { return full_interval_; }
+
+    /** True when the checkpoint at @p index is a delta. */
+    bool isDeltaAt(std::size_t index) const
+    {
+        return index < kinds_.size() && kinds_[index] != 0;
+    }
+
   private:
     std::string metaPath() const;
     std::string checkpointPath(std::uint64_t at_op) const;
+    Checkpoint loadFile(std::size_t index) const;
+    Checkpoint loadResolved(std::size_t index) const;
     std::uint64_t identity_ = 0;
 
     std::string directory_;
     std::uint64_t stride_ = 0;
+    std::uint64_t full_interval_ = 8;
     std::vector<std::uint64_t> positions_;
+    std::vector<std::uint8_t> kinds_; ///< per position; 1 = delta
 };
 
 } // namespace pgss::sim

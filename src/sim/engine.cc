@@ -87,6 +87,40 @@ template <bool with_bbv>
 std::uint64_t
 SimulationEngine::runFunctional(std::uint64_t n, bool warm)
 {
+    if (!warm && fast_path_enabled_) {
+        // Fast-forward fast path: batched pre-decoded dispatch, no
+        // DynInst population. The taken-branch callback is the only
+        // side channel; ops_since_taken_ carries across chunks (by
+        // reference) so harvests match the step() path bit for bit.
+        // In the dominant configuration — hashed BBV only — the
+        // callback is a single inlined LUT-hash accumulate, with no
+        // virtual dispatch anywhere on the path.
+        if constexpr (with_bbv) {
+            if (hashed_bbv_enabled_ && !full_bbv_enabled_) {
+                bbv::HashedBbv &hashed = hashed_bbv_;
+                return core_->runFastWith(
+                    n, ops_since_taken_,
+                    [&hashed](std::uint64_t addr, std::uint64_t ops) {
+                        hashed.onTakenBranch(addr, ops);
+                    });
+            }
+            bbv::HashedBbv *hashed =
+                hashed_bbv_enabled_ ? &hashed_bbv_ : nullptr;
+            bbv::FullBbvCollector *full =
+                full_bbv_enabled_ ? &full_bbv_ : nullptr;
+            return core_->runFastWith(
+                n, ops_since_taken_,
+                [hashed, full](std::uint64_t addr, std::uint64_t ops) {
+                    if (hashed)
+                        hashed->onTakenBranch(addr, ops);
+                    if (full)
+                        full->onTakenBranch(addr, ops);
+                });
+        } else {
+            return core_->runFast(n, nullptr);
+        }
+    }
+
     cpu::DynInst rec;
     const std::uint32_t line_bytes = config_.hierarchy.l1i.line_bytes;
     const std::uint32_t bytes_per_inst = config_.pipeline.bytes_per_inst;
@@ -285,9 +319,42 @@ SimulationEngine::checkpoint() const
     c.halted_ = core_->halted();
     c.retired_ = core_->retired();
     c.ops_since_taken_ = ops_since_taken_;
+    c.warm_fetch_line_ = warm_fetch_line_;
     c.memory_words_ = memory_->words();
+    c.mem_total_words_ = memory_->words().size();
     c.hierarchy_ = hierarchy_->state();
     c.branch_ = branch_unit_->state();
+    memory_->clearPageDirty();
+    if (obs::TraceSink *t = obs::traceSink())
+        t->emit(obs::TraceKind::CheckpointSave, core_->retired());
+    return c;
+}
+
+Checkpoint
+SimulationEngine::checkpointDelta() const
+{
+    Checkpoint c;
+    c.regs_ = core_->regs();
+    c.pc_ = core_->pc();
+    c.halted_ = core_->halted();
+    c.retired_ = core_->retired();
+    c.ops_since_taken_ = ops_since_taken_;
+    c.warm_fetch_line_ = warm_fetch_line_;
+    c.mem_delta_ = true;
+    c.mem_total_words_ = memory_->words().size();
+    c.delta_pages_ = memory_->dirtyPageList();
+    const std::vector<std::uint64_t> &words = memory_->words();
+    for (std::uint32_t page : c.delta_pages_) {
+        const std::uint64_t first =
+            std::uint64_t{page} * mem::MainMemory::page_words;
+        const std::uint64_t count = memory_->pageWordCount(page);
+        c.memory_words_.insert(c.memory_words_.end(),
+                               words.begin() + first,
+                               words.begin() + first + count);
+    }
+    c.hierarchy_ = hierarchy_->state();
+    c.branch_ = branch_unit_->state();
+    memory_->clearPageDirty();
     if (obs::TraceSink *t = obs::traceSink())
         t->emit(obs::TraceKind::CheckpointSave, core_->retired());
     return c;
@@ -296,6 +363,9 @@ SimulationEngine::checkpoint() const
 void
 SimulationEngine::restore(const Checkpoint &ckpt)
 {
+    util::panicIf(ckpt.mem_delta_,
+                  "cannot restore a delta checkpoint directly; "
+                  "resolve it with Checkpoint::applyDelta first");
     util::panicIf(ckpt.memory_words_.size() != memory_->words().size(),
                   "checkpoint from a different program");
     core_->setRegs(ckpt.regs_);
@@ -306,8 +376,10 @@ SimulationEngine::restore(const Checkpoint &ckpt)
     memory_->setWords(ckpt.memory_words_);
     hierarchy_->setState(ckpt.hierarchy_);
     branch_unit_->setState(ckpt.branch_);
-    // Transient timing state is rebuilt by the next detailed warm-up.
-    warm_fetch_line_ = ~0ull;
+    // Restoring the warming dedup line keeps the post-restore cache
+    // access stream identical to the continuous run; the remaining
+    // transient timing state is rebuilt by the next detailed warm-up.
+    warm_fetch_line_ = ckpt.warm_fetch_line_;
     last_was_detailed_ = false;
     hashed_bbv_.reset();
     full_bbv_.reset();

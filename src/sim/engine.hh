@@ -153,11 +153,34 @@ class SimulationEngine
     /** Harvest the full BBV for the interval just ended. */
     bbv::SparseBbv harvestFullBbv();
 
-    /** Capture a restartable snapshot of the simulation state. */
+    /**
+     * Capture a restartable snapshot of the simulation state (full
+     * memory image). Resets the memory's page-dirty baseline: the next
+     * checkpointDelta() captures pages written from this point on.
+     */
     Checkpoint checkpoint() const;
+
+    /**
+     * Capture a delta snapshot: full architectural/cache/branch state,
+     * but only the memory pages written since the previous
+     * checkpoint()/checkpointDelta() capture. Must be resolved against
+     * its chain of predecessors (Checkpoint::applyDelta) before it can
+     * be restored; CheckpointLibrary automates that.
+     */
+    Checkpoint checkpointDelta() const;
 
     /** Restore a snapshot captured on this program/config. */
     void restore(const Checkpoint &ckpt);
+
+    /**
+     * Enable/disable the batched fast-forward fast path (on by
+     * default). FunctionalFast mode then falls back to the step()
+     * interpreter — only useful for differential testing.
+     */
+    void setFastPathEnabled(bool enabled)
+    {
+        fast_path_enabled_ = enabled;
+    }
 
     const isa::Program &program() const { return program_; }
     const EngineConfig &config() const { return config_; }
@@ -186,6 +209,7 @@ class SimulationEngine
     bbv::FullBbvCollector full_bbv_;
     bool hashed_bbv_enabled_ = false;
     bool full_bbv_enabled_ = false;
+    bool fast_path_enabled_ = true;
     std::uint64_t ops_since_taken_ = 0;
 
     std::uint64_t warm_fetch_line_ = ~0ull;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace pgss::util
 {
@@ -37,6 +38,19 @@ std::string
 profileCacheDir()
 {
     return envString("PGSS_PROFILE_CACHE", "pgss_profile_cache");
+}
+
+std::size_t
+jobCount()
+{
+    const double v = envDouble("PGSS_JOBS", 1.0);
+    if (v == 0.0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? std::min<std::size_t>(hw, 256) : 1;
+    }
+    if (v < 1.0)
+        return 1;
+    return static_cast<std::size_t>(std::min(v, 256.0));
 }
 
 } // namespace pgss::util

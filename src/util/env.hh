@@ -1,7 +1,8 @@
 /**
  * @file
  * Environment-variable configuration knobs shared by benches and
- * examples: PGSS_SCALE shrinks/grows the synthetic workloads, and
+ * examples: PGSS_SCALE shrinks/grows the synthetic workloads,
+ * PGSS_JOBS sets the bench harness's worker-thread count, and
  * PGSS_PROFILE_CACHE points the ground-truth profile cache somewhere
  * other than the default. Other subsystems read their own knobs
  * through envString()/envDouble(): PGSS_LOG_LEVEL (util/logging),
@@ -11,6 +12,7 @@
 #ifndef PGSS_UTIL_ENV_HH
 #define PGSS_UTIL_ENV_HH
 
+#include <cstddef>
 #include <string>
 
 namespace pgss::util
@@ -33,6 +35,14 @@ double workloadScale();
  * PGSS_PROFILE_CACHE (default: "<cwd>/pgss_profile_cache").
  */
 std::string profileCacheDir();
+
+/**
+ * Worker threads for the bench harness, from PGSS_JOBS. Default 1
+ * (serial — parallelism is opt-in so runs stay deterministic by
+ * construction); 0 means one per hardware thread. Clamped to
+ * [1, 256].
+ */
+std::size_t jobCount();
 
 } // namespace pgss::util
 

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Differential tests for the batched fast-forward fast path: runFast()
+ * must retire exactly the architectural state and BBV harvests the
+ * step() interpreter produces, over every suite workload and across
+ * arbitrary chunk boundaries.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/functional_core.hh"
+#include "sim/checkpoint.hh"
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+#include "workload/suite.hh"
+
+using namespace pgss;
+using sim::SimMode;
+
+namespace
+{
+
+/** Deliberately awkward chunk sizes to stress carry-over state. */
+const std::uint64_t chunks[] = {1, 7, 12'345, 99'991, 250'000};
+
+/** Serialized full checkpoint = regs, pc, retired, memory, caches. */
+std::vector<std::uint8_t>
+stateBytes(sim::SimulationEngine &e)
+{
+    return e.checkpoint().serialize();
+}
+
+} // namespace
+
+TEST(CpuFastPath, MatchesStepAcrossSuiteWorkloads)
+{
+    for (const std::string &name : workload::suiteNames()) {
+        auto built = workload::buildWorkload(name, 0.01);
+
+        sim::SimulationEngine fast(built.program);
+        sim::SimulationEngine slow(built.program);
+        slow.setFastPathEnabled(false);
+
+        for (const std::uint64_t n : chunks) {
+            fast.run(n, SimMode::FunctionalFast);
+            slow.run(n, SimMode::FunctionalFast);
+        }
+
+        EXPECT_EQ(fast.totalOps(), slow.totalOps()) << name;
+        EXPECT_EQ(fast.halted(), slow.halted()) << name;
+        EXPECT_EQ(fast.core().pc(), slow.core().pc()) << name;
+        EXPECT_EQ(stateBytes(fast), stateBytes(slow)) << name;
+    }
+}
+
+TEST(CpuFastPath, HashedBbvHarvestsMatchStep)
+{
+    for (const std::string &name : workload::suiteNames()) {
+        auto built = workload::buildWorkload(name, 0.01);
+
+        sim::SimulationEngine fast(built.program);
+        sim::SimulationEngine slow(built.program);
+        slow.setFastPathEnabled(false);
+        fast.setHashedBbvEnabled(true);
+        slow.setHashedBbvEnabled(true);
+
+        // Harvest after every chunk: the pending taken-branch op
+        // count must carry across runFast() calls exactly as the
+        // step() path carries it.
+        for (const std::uint64_t n : chunks) {
+            fast.run(n, SimMode::FunctionalFast);
+            slow.run(n, SimMode::FunctionalFast);
+            EXPECT_EQ(fast.harvestHashedBbv(),
+                      slow.harvestHashedBbv())
+                << name << " after chunk " << n;
+        }
+        EXPECT_EQ(fast.totalOps(), slow.totalOps()) << name;
+    }
+}
+
+TEST(CpuFastPath, FullBbvHarvestsMatchStep)
+{
+    auto built = test::twoPhaseWorkload(60'000.0, 2);
+
+    sim::SimulationEngine fast(built.program);
+    sim::SimulationEngine slow(built.program);
+    slow.setFastPathEnabled(false);
+    fast.setFullBbvEnabled(true);
+    slow.setFullBbvEnabled(true);
+
+    for (const std::uint64_t n : chunks) {
+        fast.run(n, SimMode::FunctionalFast);
+        slow.run(n, SimMode::FunctionalFast);
+        EXPECT_EQ(fast.harvestFullBbv(), slow.harvestFullBbv())
+            << "after chunk " << n;
+    }
+}
+
+TEST(CpuFastPath, RunsToHaltExactlyLikeStep)
+{
+    const isa::Program program = test::sumProgram(1000);
+
+    sim::SimulationEngine fast(program);
+    sim::SimulationEngine slow(program);
+    slow.setFastPathEnabled(false);
+
+    // Ask for far more ops than the program has: both paths must
+    // stop at Halt with identical retired counts and register state.
+    fast.run(1'000'000, SimMode::FunctionalFast);
+    slow.run(1'000'000, SimMode::FunctionalFast);
+
+    EXPECT_TRUE(fast.halted());
+    EXPECT_TRUE(slow.halted());
+    EXPECT_EQ(fast.totalOps(), slow.totalOps());
+    EXPECT_EQ(fast.core().reg(3), slow.core().reg(3));
+    EXPECT_EQ(fast.core().reg(3), 1000ull * 1001 / 2);
+    EXPECT_EQ(stateBytes(fast), stateBytes(slow));
+
+    // Further runs on a halted engine retire nothing on either path.
+    EXPECT_EQ(fast.run(100, SimMode::FunctionalFast).ops, 0u);
+    EXPECT_EQ(slow.run(100, SimMode::FunctionalFast).ops, 0u);
+}
+
+TEST(CpuFastPath, CoreLevelRunFastMatchesStep)
+{
+    auto built = test::twoPhaseWorkload(50'000.0, 1);
+
+    mem::MainMemory mem_a(built.program.data_bytes);
+    mem::MainMemory mem_b(built.program.data_bytes);
+    for (mem::MainMemory *m : {&mem_a, &mem_b}) {
+        auto image = built.program.data_words;
+        image.resize(m->words().size(), 0);
+        m->setWords(std::move(image));
+    }
+    cpu::FunctionalCore a(built.program, mem_a);
+    cpu::FunctionalCore b(built.program, mem_b);
+
+    const std::uint64_t done = a.runFast(30'000, nullptr);
+    cpu::DynInst rec;
+    std::uint64_t stepped = 0;
+    while (stepped < 30'000 && b.step(rec))
+        ++stepped;
+
+    EXPECT_EQ(done, stepped);
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.retired(), b.retired());
+    for (int r = 0; r < isa::num_regs; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "reg " << r;
+    EXPECT_EQ(mem_a.words(), mem_b.words());
+}

@@ -1,6 +1,7 @@
 /** @file Per-opcode semantic tests for the functional core. */
 
 #include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -118,6 +119,15 @@ TEST(CpuSemantics, MulDiv)
               static_cast<std::uint64_t>(-7));
     // Division by zero yields all ones (RISC-V convention).
     EXPECT_EQ(evalBinary(Opcode::Div, 42, 0), ~0ull);
+    // Signed-overflow case INT64_MIN / -1: the result is the dividend
+    // (RISC-V convention); in plain C++ the division itself would be
+    // undefined behavior.
+    EXPECT_EQ(evalBinary(Opcode::Div,
+                         static_cast<std::uint64_t>(
+                             std::numeric_limits<std::int64_t>::min()),
+                         static_cast<std::uint64_t>(-1)),
+              static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::min()));
 }
 
 TEST(CpuSemantics, FloatingPoint)

@@ -110,3 +110,134 @@ TEST(CheckpointDeathTest, RestoreAcrossProgramsPanics)
     const sim::Checkpoint ckpt = ea.checkpoint();
     EXPECT_DEATH(eb.restore(ckpt), "different program");
 }
+
+TEST(CheckpointDelta, ResolvesBitIdenticalToFull)
+{
+    auto built = test::storingWorkload();
+    sim::SimulationEngine e(built.program);
+    e.run(60'000, SimMode::FunctionalWarm);
+    sim::Checkpoint base = e.checkpoint();
+    EXPECT_FALSE(base.isDelta());
+
+    // Run through a stream phase, which rewrites its footprint — the
+    // delta must pick up those written pages.
+    e.run(50'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint delta = e.checkpointDelta();
+    EXPECT_TRUE(delta.isDelta());
+    EXPECT_GT(delta.deltaPageCount(), 0u);
+
+    // A full checkpoint taken at the same position is the reference;
+    // base + delta must resolve to exactly those bytes.
+    const sim::Checkpoint ref = e.checkpoint();
+    sim::Checkpoint::applyDelta(base, delta);
+    EXPECT_FALSE(base.isDelta());
+    EXPECT_EQ(base.serialize(), ref.serialize());
+}
+
+TEST(CheckpointDelta, ChainedDeltasResolveInOrder)
+{
+    auto built = test::storingWorkload();
+    sim::SimulationEngine e(built.program);
+    e.run(30'000, SimMode::FunctionalWarm);
+    sim::Checkpoint state = e.checkpoint();
+
+    std::vector<sim::Checkpoint> deltas;
+    for (int i = 0; i < 3; ++i) {
+        e.run(25'000, SimMode::FunctionalWarm);
+        deltas.push_back(e.checkpointDelta());
+    }
+    const sim::Checkpoint ref = e.checkpoint();
+
+    for (const sim::Checkpoint &d : deltas)
+        sim::Checkpoint::applyDelta(state, d);
+    EXPECT_EQ(state.serialize(), ref.serialize());
+    EXPECT_EQ(state.retired(), e.totalOps());
+}
+
+TEST(CheckpointDelta, RestoreAfterResolveReplaysIdentically)
+{
+    // Resolve base+delta, restore to the delta's position, and re-run
+    // the same distance: the end state must be bit-identical to the
+    // uninterrupted run.
+    auto built = test::storingWorkload();
+    sim::SimulationEngine e(built.program);
+    e.run(50'000, SimMode::FunctionalWarm);
+    sim::Checkpoint base = e.checkpoint();
+    e.run(30'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint delta = e.checkpointDelta();
+
+    e.run(20'000, SimMode::FunctionalWarm);
+    const std::vector<std::uint8_t> after = e.checkpoint().serialize();
+
+    sim::Checkpoint::applyDelta(base, delta);
+    e.restore(base);
+    EXPECT_EQ(e.totalOps(), 80'000u);
+    e.run(20'000, SimMode::FunctionalWarm);
+    EXPECT_EQ(e.checkpoint().serialize(), after);
+}
+
+TEST(CheckpointDelta, SerializeRoundTripPreservesDelta)
+{
+    auto built = test::storingWorkload();
+    sim::SimulationEngine e(built.program);
+    e.run(20'000, SimMode::FunctionalWarm);
+    sim::Checkpoint base = e.checkpoint();
+    e.run(15'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint delta = e.checkpointDelta();
+
+    bool ok = false;
+    const sim::Checkpoint back =
+        sim::Checkpoint::deserialize(delta.serialize(), ok);
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(back.isDelta());
+    EXPECT_EQ(back.deltaPageCount(), delta.deltaPageCount());
+    EXPECT_EQ(back.serialize(), delta.serialize());
+
+    const sim::Checkpoint ref = e.checkpoint();
+    sim::Checkpoint::applyDelta(base, back);
+    EXPECT_EQ(base.serialize(), ref.serialize());
+}
+
+TEST(CheckpointDelta, DeltaIsSmallerThanFullForSparseWrites)
+{
+    // The stream phase rewrites only its 8 KiB footprint; the 256 KiB
+    // chase image stays untouched, so the delta must carry far fewer
+    // memory words than the full image.
+    auto built = test::storingWorkload();
+    sim::SimulationEngine e(built.program);
+    e.run(100'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint full = e.checkpoint();
+    e.run(20'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint delta = e.checkpointDelta();
+    EXPECT_GT(delta.deltaPageCount(), 0u);
+    EXPECT_LT(delta.serialize().size(), full.serialize().size());
+}
+
+TEST(CheckpointDeltaDeathTest, DirectRestorePanics)
+{
+    auto built = test::storingWorkload();
+    sim::SimulationEngine e(built.program);
+    e.run(5'000, SimMode::FunctionalWarm);
+    e.checkpoint(); // set the dirty baseline
+    e.run(5'000, SimMode::FunctionalWarm);
+    const sim::Checkpoint delta = e.checkpointDelta();
+    EXPECT_DEATH(e.restore(delta), "delta");
+}
+
+TEST(CheckpointDeltaDeathTest, ApplyDeltaRejectsWrongKinds)
+{
+    auto built = test::twoPhaseWorkload(30'000.0, 1);
+    sim::SimulationEngine e(built.program);
+    e.run(5'000, SimMode::FunctionalWarm);
+    sim::Checkpoint full_a = e.checkpoint();
+    const sim::Checkpoint full_b = e.checkpoint();
+    e.run(5'000, SimMode::FunctionalWarm);
+    sim::Checkpoint delta = e.checkpointDelta();
+
+    EXPECT_DEATH(
+        sim::Checkpoint::applyDelta(full_a, full_b),
+        "delta must be a delta checkpoint");
+    EXPECT_DEATH(
+        sim::Checkpoint::applyDelta(delta, delta),
+        "base must be a full checkpoint");
+}

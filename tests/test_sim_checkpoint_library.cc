@@ -152,6 +152,75 @@ TEST(CheckpointedSampling, WarmingBoundedByStride)
     EXPECT_EQ(m.detailed_ops, 3u * 4'000u);
 }
 
+TEST(CheckpointLibrary, DeltaLayoutFollowsFullInterval)
+{
+    LibFixture f;
+    EXPECT_EQ(f.library.fullInterval(), 8u);
+    for (std::size_t i = 0; i < f.library.positions().size(); ++i)
+        EXPECT_EQ(f.library.isDeltaAt(i), i % 8 != 0) << "index " << i;
+
+    // open() reads the recorded layout even if the caller configured
+    // a different interval beforehand.
+    sim::CheckpointLibrary other(f.dir);
+    other.setFullInterval(3);
+    ASSERT_TRUE(other.open(f.built.program, {}));
+    EXPECT_EQ(other.fullInterval(), 8u);
+    for (std::size_t i = 0; i < other.positions().size(); ++i)
+        EXPECT_EQ(other.isDeltaAt(i), f.library.isDeltaAt(i));
+}
+
+TEST(CheckpointLibrary, SeekThroughDeltaChainMatchesFullImages)
+{
+    // Record the same workload twice: once with the delta layout,
+    // once with full images only. Seeking either library to the same
+    // position must produce identical measurements. The workload
+    // writes memory, so the deltas carry real pages.
+    auto built = test::storingWorkload(150'000.0, 3);
+
+    const std::string dir_d = ::testing::TempDir() + "/pgss_lib_delta";
+    const std::string dir_f = ::testing::TempDir() + "/pgss_lib_full";
+    std::filesystem::remove_all(dir_d);
+    std::filesystem::remove_all(dir_f);
+
+    sim::CheckpointLibrary deltas(dir_d);
+    deltas.setFullInterval(4);
+    deltas.record(built.program, {}, 150'000);
+    sim::CheckpointLibrary fulls(dir_f);
+    fulls.setFullInterval(1);
+    fulls.record(built.program, {}, 150'000);
+    ASSERT_EQ(deltas.positions(), fulls.positions());
+    EXPECT_FALSE(fulls.isDeltaAt(1));
+    EXPECT_TRUE(deltas.isDeltaAt(3)); // end of a 3-delta chain
+
+    for (const std::uint64_t target : {470'000ull, 760'000ull}) {
+        sim::SimulationEngine a(built.program);
+        sim::SimulationEngine b(built.program);
+        deltas.seekTo(a, target);
+        fulls.seekTo(b, target);
+        EXPECT_EQ(a.totalOps(), target);
+        EXPECT_EQ(a.checkpoint().serialize(),
+                  b.checkpoint().serialize())
+            << "target " << target;
+    }
+
+    std::filesystem::remove_all(dir_d);
+    std::filesystem::remove_all(dir_f);
+}
+
+TEST(CheckpointLibrary, OpenFailsForDifferentConfig)
+{
+    LibFixture f;
+    // The identity covers the machine configuration, not just the
+    // program: a resized L1D must not open a stale library.
+    sim::EngineConfig other;
+    other.hierarchy.l1d.size_bytes *= 2;
+    sim::CheckpointLibrary lib(f.dir);
+    EXPECT_FALSE(lib.open(f.built.program, other));
+
+    sim::EngineConfig same;
+    EXPECT_TRUE(lib.open(f.built.program, same));
+}
+
 TEST(CheckpointLibraryDeathTest, ZeroStridePanics)
 {
     sim::CheckpointLibrary lib("/tmp/unused");
