@@ -26,6 +26,31 @@ instAddr(std::uint64_t index)
     return index << 2;
 }
 
+/**
+ * One named region of the data footprint, as declared by the workload
+ * builder's allocations. Static address arithmetic in the code is
+ * expected to stay inside some declared segment; the progcheck memory
+ * pass enforces this.
+ */
+struct DataSegment
+{
+    std::string label;        ///< allocation label ("seg<n>" if unnamed)
+    std::uint64_t base = 0;   ///< first byte address
+    std::uint64_t bytes = 0;  ///< extent
+};
+
+/**
+ * BTB-style static target set for one indirect jump: the complete set
+ * of instruction indices the jump can transfer to, declared by the
+ * program builder (for subroutine returns: every call site + 1). The
+ * CFG builder uses these as the jump's successor edges.
+ */
+struct IndirectTargetSet
+{
+    std::uint32_t at = 0;               ///< index of the Jalr
+    std::vector<std::uint32_t> targets; ///< possible target indices
+};
+
 /** A runnable program. */
 struct Program
 {
@@ -33,6 +58,14 @@ struct Program
     std::vector<Instruction> code;    ///< instruction memory
     std::uint64_t data_bytes = 0;     ///< data segment size
     std::uint64_t entry = 0;          ///< first instruction index
+
+    /** Declared data segments, ascending by base; may be empty for
+     *  hand-assembled programs (checks then fall back to the whole
+     *  [0, data_bytes) footprint). */
+    std::vector<DataSegment> segments;
+
+    /** Declared indirect-jump target sets, ascending by index. */
+    std::vector<IndirectTargetSet> indirect_targets;
 
     /**
      * Initial data-memory image (64-bit words), host-initialised by

@@ -1,0 +1,353 @@
+#include "progcheck/cfg.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace pgss::progcheck
+{
+
+namespace
+{
+
+using isa::CtrlKind;
+using isa::Instruction;
+
+/** In-range static target of @p inst, or npos. */
+std::uint32_t
+staticTarget(const Instruction &inst, std::size_t code_size)
+{
+    if (!isa::hasStaticTarget(inst))
+        return npos;
+    if (inst.imm < 0 ||
+        static_cast<std::uint64_t>(inst.imm) >= code_size)
+        return npos;
+    return static_cast<std::uint32_t>(inst.imm);
+}
+
+/** Global successor blocks of @p b (call edges into callees). */
+std::vector<std::uint32_t>
+globalSuccs(const Cfg &cfg, const Block &b)
+{
+    const isa::Program &prog = *cfg.prog;
+    const Instruction &tail = prog.code[b.last];
+    const std::size_t n = prog.code.size();
+    std::vector<std::uint32_t> out;
+
+    const auto push_pc = [&](std::uint64_t pc) {
+        if (pc < n)
+            out.push_back(cfg.block_of[pc]);
+    };
+
+    switch (isa::ctrlKind(tail)) {
+      case CtrlKind::None:
+        push_pc(b.last + 1);
+        break;
+      case CtrlKind::CondBranch: {
+        const std::uint32_t t = staticTarget(tail, n);
+        if (t != npos)
+            push_pc(t);
+        push_pc(b.last + 1);
+        break;
+      }
+      case CtrlKind::DirectJump: {
+        const std::uint32_t t = staticTarget(tail, n);
+        if (t != npos)
+            push_pc(t);
+        break;
+      }
+      case CtrlKind::IndirectJump:
+        if (const auto *targets = cfg.indirectTargets(b.last)) {
+            for (std::uint32_t t : *targets)
+                push_pc(t);
+        }
+        break;
+      case CtrlKind::Halt:
+        break;
+    }
+
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+void
+computeReachability(Cfg &cfg)
+{
+    cfg.reachable.assign(cfg.blocks.size(), false);
+    std::vector<std::uint32_t> stack = {cfg.entryBlock()};
+    while (!stack.empty()) {
+        const std::uint32_t b = stack.back();
+        stack.pop_back();
+        if (cfg.reachable[b])
+            continue;
+        cfg.reachable[b] = true;
+        for (std::uint32_t s : cfg.blocks[b].succs) {
+            if (!cfg.reachable[s])
+                stack.push_back(s);
+        }
+    }
+}
+
+/** Iterative dominator computation (Cooper, Harvey & Kennedy). */
+void
+computeDominators(Cfg &cfg)
+{
+    const std::size_t nb = cfg.blocks.size();
+    cfg.idom.assign(nb, npos);
+
+    // Reverse post-order over reachable blocks.
+    std::vector<std::uint32_t> rpo;
+    std::vector<std::uint32_t> rpo_index(nb, npos);
+    std::vector<std::uint8_t> state(nb, 0);
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    stack.emplace_back(cfg.entryBlock(), 0);
+    state[cfg.entryBlock()] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const auto &succs = cfg.blocks[b].succs;
+        if (next < succs.size()) {
+            const std::uint32_t s = succs[next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            rpo.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(rpo.begin(), rpo.end());
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = static_cast<std::uint32_t>(i);
+
+    const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = cfg.idom[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = cfg.idom[b];
+        }
+        return a;
+    };
+
+    const std::uint32_t entry = cfg.entryBlock();
+    cfg.idom[entry] = entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t b : rpo) {
+            if (b == entry)
+                continue;
+            std::uint32_t new_idom = npos;
+            for (std::uint32_t p : cfg.blocks[b].preds) {
+                if (cfg.idom[p] == npos)
+                    continue; // not yet processed / unreachable
+                new_idom = new_idom == npos ? p
+                                            : intersect(new_idom, p);
+            }
+            if (new_idom != npos && cfg.idom[b] != new_idom) {
+                cfg.idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+/**
+ * Intraprocedural successor blocks: calls step to their continuation,
+ * returns and halts terminate, computed jumps follow declared targets.
+ */
+std::vector<std::uint32_t>
+intraSuccs(const Cfg &cfg, const Block &b)
+{
+    const isa::Program &prog = *cfg.prog;
+    const Instruction &tail = prog.code[b.last];
+    const std::size_t n = prog.code.size();
+
+    if (isa::isCall(tail)) {
+        if (b.last + 1 < n)
+            return {cfg.block_of[b.last + 1]};
+        return {};
+    }
+    if (isa::isReturn(tail, cfg.link_reg))
+        return {};
+    return globalSuccs(cfg, b);
+}
+
+void
+partitionProcedures(Cfg &cfg)
+{
+    const isa::Program &prog = *cfg.prog;
+    const std::size_t n = prog.code.size();
+
+    // Procedure entries: the program entry first, then call targets.
+    std::vector<std::uint32_t> entries = {
+        static_cast<std::uint32_t>(prog.entry)};
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        const Instruction &inst = prog.code[pc];
+        if (!isa::isCall(inst))
+            continue;
+        const std::uint32_t t = staticTarget(inst, n);
+        if (t != npos)
+            entries.push_back(t);
+    }
+    std::sort(entries.begin() + 1, entries.end());
+    entries.erase(std::unique(entries.begin() + 1, entries.end()),
+                  entries.end());
+    // Drop a call target that aliases the program entry.
+    entries.erase(std::remove(entries.begin() + 1, entries.end(),
+                              entries.front()),
+                  entries.end());
+
+    cfg.proc_of.assign(cfg.blocks.size(), npos);
+    for (std::uint32_t entry_pc : entries) {
+        Procedure proc;
+        proc.entry_pc = entry_pc;
+        proc.entry_block = cfg.block_of[entry_pc];
+        proc.is_program_entry = entry_pc == prog.entry;
+        cfg.procs.push_back(std::move(proc));
+    }
+
+    // Entry blocks claimed up front so walks detect crossings.
+    std::map<std::uint32_t, std::uint32_t> entry_block_proc;
+    for (std::size_t p = 0; p < cfg.procs.size(); ++p)
+        entry_block_proc[cfg.procs[p].entry_block] =
+            static_cast<std::uint32_t>(p);
+
+    for (std::size_t p = 0; p < cfg.procs.size(); ++p) {
+        Procedure &proc = cfg.procs[p];
+        std::vector<std::uint32_t> stack = {proc.entry_block};
+        std::vector<bool> visited(cfg.blocks.size(), false);
+        while (!stack.empty()) {
+            const std::uint32_t b = stack.back();
+            stack.pop_back();
+            if (visited[b])
+                continue;
+            visited[b] = true;
+            proc.blocks.push_back(b);
+            if (cfg.proc_of[b] == npos)
+                cfg.proc_of[b] = static_cast<std::uint32_t>(p);
+
+            const Block &block = cfg.blocks[b];
+            const Instruction &tail = prog.code[block.last];
+            if (isa::isCall(tail))
+                proc.calls.push_back(block.last);
+            else if (isa::isReturn(tail, cfg.link_reg))
+                proc.returns.push_back(block.last);
+            else if (isa::ctrlKind(tail) == CtrlKind::Halt)
+                proc.halts.push_back(block.last);
+
+            for (std::uint32_t s : intraSuccs(cfg, block)) {
+                if (visited[s])
+                    continue;
+                // Crossing into another procedure's entry is an
+                // escape, not membership.
+                const auto it = entry_block_proc.find(s);
+                if (it != entry_block_proc.end() && it->second != p) {
+                    proc.escapes.push_back(block.last);
+                    continue;
+                }
+                stack.push_back(s);
+            }
+        }
+        std::sort(proc.blocks.begin(), proc.blocks.end());
+        std::sort(proc.calls.begin(), proc.calls.end());
+        std::sort(proc.returns.begin(), proc.returns.end());
+        std::sort(proc.escapes.begin(), proc.escapes.end());
+        proc.escapes.erase(
+            std::unique(proc.escapes.begin(), proc.escapes.end()),
+            proc.escapes.end());
+    }
+}
+
+} // anonymous namespace
+
+std::uint32_t
+Cfg::entryBlock() const
+{
+    return block_of[prog->entry];
+}
+
+const std::vector<std::uint32_t> *
+Cfg::indirectTargets(std::uint32_t pc) const
+{
+    for (const isa::IndirectTargetSet &set : prog->indirect_targets) {
+        if (set.at == pc)
+            return &set.targets;
+    }
+    return nullptr;
+}
+
+bool
+Cfg::dominates(std::uint32_t a, std::uint32_t b) const
+{
+    if (idom[a] == npos || idom[b] == npos)
+        return false;
+    const std::uint32_t entry = block_of[prog->entry];
+    while (true) {
+        if (b == a)
+            return true;
+        if (b == entry)
+            return false;
+        b = idom[b];
+    }
+}
+
+Cfg
+buildCfg(const isa::Program &prog, std::uint8_t link_reg)
+{
+    util::panicIf(prog.code.empty(), "buildCfg: empty program");
+    util::panicIf(prog.entry >= prog.code.size(),
+                  "buildCfg: entry out of range");
+
+    Cfg cfg;
+    cfg.prog = &prog;
+    cfg.link_reg = link_reg;
+
+    const std::size_t n = prog.code.size();
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    leader[prog.entry] = true;
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        const Instruction &inst = prog.code[pc];
+        if (isa::ctrlKind(inst) != CtrlKind::None && pc + 1 < n)
+            leader[pc + 1] = true;
+        const std::uint32_t t = staticTarget(inst, n);
+        if (t != npos)
+            leader[t] = true;
+    }
+    for (const isa::IndirectTargetSet &set : prog.indirect_targets) {
+        for (std::uint32_t t : set.targets) {
+            if (t < n)
+                leader[t] = true;
+        }
+    }
+
+    cfg.block_of.assign(n, 0);
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            Block b;
+            b.first = static_cast<std::uint32_t>(pc);
+            cfg.blocks.push_back(b);
+        }
+        cfg.block_of[pc] =
+            static_cast<std::uint32_t>(cfg.blocks.size() - 1);
+        cfg.blocks.back().last = static_cast<std::uint32_t>(pc);
+    }
+
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        cfg.blocks[b].succs = globalSuccs(cfg, cfg.blocks[b]);
+        for (std::uint32_t s : cfg.blocks[b].succs)
+            cfg.blocks[s].preds.push_back(
+                static_cast<std::uint32_t>(b));
+    }
+
+    computeReachability(cfg);
+    computeDominators(cfg);
+    partitionProcedures(cfg);
+    return cfg;
+}
+
+} // namespace pgss::progcheck

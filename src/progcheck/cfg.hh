@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Control-flow graph over a decoded isa::Program. Leaders come from
+ * the program entry, static branch/jump targets, fall-throughs after
+ * control transfers, and declared indirect-jump target sets (the
+ * BTB-style sets the program builder attaches to subroutine returns).
+ * On top of the block graph the builder derives:
+ *
+ *  - global reachability from the entry, following call edges into
+ *    subroutines and declared return edges back out;
+ *  - immediate dominators (iterative Cooper-Harvey-Kennedy);
+ *  - a procedure partition: the program entry plus every call target
+ *    starts a procedure, whose member blocks are found by an
+ *    intraprocedural walk that steps over calls (call -> call+1) and
+ *    stops at returns.
+ *
+ * The analyses in passes.cc consume this structure; nothing here
+ * reports findings except via the structural facts it records
+ * (unknown-indirect jumps, falls into other procedures).
+ */
+
+#ifndef PGSS_PROGCHECK_CFG_HH
+#define PGSS_PROGCHECK_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace pgss::progcheck
+{
+
+/** Sentinel for "no block" / "no dominator". */
+constexpr std::uint32_t npos = ~0u;
+
+/** One basic block: instruction range [first, last], both inclusive. */
+struct Block
+{
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+    std::vector<std::uint32_t> succs; ///< successor block ids
+    std::vector<std::uint32_t> preds; ///< predecessor block ids
+
+    std::size_t size() const { return last - first + 1; }
+};
+
+/** One procedure: the program entry or a call target. */
+struct Procedure
+{
+    std::uint32_t entry_pc = 0;       ///< first instruction index
+    std::uint32_t entry_block = npos; ///< block id of the entry
+    bool is_program_entry = false;    ///< the driver, not a subroutine
+    std::vector<std::uint32_t> blocks;  ///< member block ids
+    std::vector<std::uint32_t> calls;   ///< pcs of calls inside
+    std::vector<std::uint32_t> returns; ///< pcs of returns inside
+    std::vector<std::uint32_t> halts;   ///< pcs of halts inside
+
+    /**
+     * Blocks the procedure falls or jumps into that belong to a
+     * different procedure (pcs of the offending edges' sources).
+     */
+    std::vector<std::uint32_t> escapes;
+};
+
+/** The graph plus derived analyses. */
+struct Cfg
+{
+    const isa::Program *prog = nullptr;
+    std::uint8_t link_reg = 1;
+
+    std::vector<Block> blocks;          ///< ascending by first
+    std::vector<std::uint32_t> block_of; ///< pc -> block id
+    std::vector<bool> reachable;        ///< per block, from entry
+    std::vector<std::uint32_t> idom;    ///< per block; npos if none
+    std::vector<Procedure> procs;       ///< [0] is the program entry
+    std::vector<std::uint32_t> proc_of; ///< block id -> proc id (npos)
+
+    /** Block id containing the program entry. */
+    std::uint32_t entryBlock() const;
+
+    /** Declared indirect target set for the Jalr at @p pc (or null). */
+    const std::vector<std::uint32_t> *indirectTargets(
+        std::uint32_t pc) const;
+
+    /** True when block @p a dominates block @p b (both reachable). */
+    bool dominates(std::uint32_t a, std::uint32_t b) const;
+};
+
+/**
+ * Build the CFG and all derived structure for @p prog.
+ * @param link_reg the register subroutine returns jump through.
+ */
+Cfg buildCfg(const isa::Program &prog, std::uint8_t link_reg = 1);
+
+} // namespace pgss::progcheck
+
+#endif // PGSS_PROGCHECK_CFG_HH

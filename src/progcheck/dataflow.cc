@@ -1,0 +1,378 @@
+#include "progcheck/dataflow.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace pgss::progcheck
+{
+
+namespace
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+// ---------------------------------------------------------- const-prop
+
+/** One register's lattice value. */
+struct Lat
+{
+    enum Kind : std::uint8_t { Top, Const, Bottom };
+    Kind kind = Top;
+    std::uint64_t v = 0;
+
+    static Lat top() { return {}; }
+    static Lat cst(std::uint64_t v) { return {Const, v}; }
+    static Lat bot() { return {Bottom, 0}; }
+
+    bool operator==(const Lat &o) const
+    {
+        return kind == o.kind && (kind != Const || v == o.v);
+    }
+};
+
+Lat
+merge(const Lat &a, const Lat &b)
+{
+    if (a.kind == Lat::Top)
+        return b;
+    if (b.kind == Lat::Top)
+        return a;
+    if (a.kind == Lat::Const && b.kind == Lat::Const && a.v == b.v)
+        return a;
+    return Lat::bot();
+}
+
+using RegState = std::array<Lat, isa::num_regs>;
+
+bool
+mergeInto(RegState &into, const RegState &from)
+{
+    bool changed = false;
+    for (int r = 0; r < isa::num_regs; ++r) {
+        const Lat m = merge(into[r], from[r]);
+        if (!(m == into[r])) {
+            into[r] = m;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** Apply @p inst to @p s (registers only; memory reads go Bottom). */
+void
+transfer(const Instruction &inst, RegState &s)
+{
+    const auto set = [&](Lat v) {
+        if (inst.rd != isa::reg_zero)
+            s[inst.rd] = v;
+    };
+    const Lat a = s[inst.rs1];
+    const Lat b = s[inst.rs2];
+    const bool ab = a.kind == Lat::Const && b.kind == Lat::Const;
+    const bool ai = a.kind == Lat::Const;
+    const auto imm = static_cast<std::uint64_t>(inst.imm);
+
+    switch (inst.op) {
+      case Opcode::Add:
+        set(ab ? Lat::cst(a.v + b.v) : Lat::bot());
+        break;
+      case Opcode::Sub:
+        set(ab ? Lat::cst(a.v - b.v) : Lat::bot());
+        break;
+      case Opcode::And:
+        set(ab ? Lat::cst(a.v & b.v) : Lat::bot());
+        break;
+      case Opcode::Or:
+        set(ab ? Lat::cst(a.v | b.v) : Lat::bot());
+        break;
+      case Opcode::Xor:
+        set(ab ? Lat::cst(a.v ^ b.v) : Lat::bot());
+        break;
+      case Opcode::Sll:
+        set(ab ? Lat::cst(a.v << (b.v & 63)) : Lat::bot());
+        break;
+      case Opcode::Srl:
+        set(ab ? Lat::cst(a.v >> (b.v & 63)) : Lat::bot());
+        break;
+      case Opcode::Sra:
+        set(ab ? Lat::cst(static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(a.v) >> (b.v & 63)))
+               : Lat::bot());
+        break;
+      case Opcode::Slt:
+        set(ab ? Lat::cst(static_cast<std::int64_t>(a.v) <
+                                  static_cast<std::int64_t>(b.v)
+                              ? 1
+                              : 0)
+               : Lat::bot());
+        break;
+      case Opcode::Addi:
+        set(ai ? Lat::cst(a.v + imm) : Lat::bot());
+        break;
+      case Opcode::Andi:
+        set(ai ? Lat::cst(a.v & imm) : Lat::bot());
+        break;
+      case Opcode::Ori:
+        set(ai ? Lat::cst(a.v | imm) : Lat::bot());
+        break;
+      case Opcode::Xori:
+        set(ai ? Lat::cst(a.v ^ imm) : Lat::bot());
+        break;
+      case Opcode::Slti:
+        set(ai ? Lat::cst(static_cast<std::int64_t>(a.v) < inst.imm
+                              ? 1
+                              : 0)
+               : Lat::bot());
+        break;
+      case Opcode::Lui:
+        set(Lat::cst(imm));
+        break;
+      default:
+        // Mul/Div/FP results are never used as static addresses and
+        // loads, calls, and returns are data-dependent: all Bottom.
+        if (inst.info().writes_rd)
+            set(Lat::bot());
+        break;
+    }
+}
+
+// ------------------------------------------------- per-inst effects
+
+/** Register slots @p inst reads (r0 excluded: always defined). */
+void
+regUses(const Instruction &inst, int out[2])
+{
+    const isa::OpInfo &info = inst.info();
+    out[0] = info.reads_rs1 && inst.rs1 != isa::reg_zero ? inst.rs1
+                                                         : -1;
+    out[1] = info.reads_rs2 && inst.rs2 != isa::reg_zero ? inst.rs2
+                                                         : -1;
+}
+
+/** Register slot @p inst defines, or -1. */
+int
+regDef(const Instruction &inst)
+{
+    return inst.info().writes_rd && inst.rd != isa::reg_zero ? inst.rd
+                                                             : -1;
+}
+
+} // anonymous namespace
+
+const StaticAccess *
+ConstProp::accessAt(std::uint32_t pc) const
+{
+    const auto it = std::lower_bound(
+        accesses.begin(), accesses.end(), pc,
+        [](const StaticAccess &a, std::uint32_t p) { return a.pc < p; });
+    return it != accesses.end() && it->pc == pc ? &*it : nullptr;
+}
+
+ConstProp
+runConstProp(const Cfg &cfg)
+{
+    const isa::Program &prog = *cfg.prog;
+    const std::size_t nb = cfg.blocks.size();
+
+    // Block-entry states; the program entry starts all-zero (the
+    // architectural register reset).
+    std::vector<RegState> in(nb);
+    std::vector<bool> in_valid(nb, false);
+    RegState entry_state;
+    entry_state.fill(Lat::cst(0));
+    const std::uint32_t entry = cfg.entryBlock();
+    in[entry] = entry_state;
+    in_valid[entry] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < nb; ++b) {
+            if (!cfg.reachable[b] || !in_valid[b])
+                continue;
+            RegState s = in[b];
+            for (std::uint32_t pc = cfg.blocks[b].first;
+                 pc <= cfg.blocks[b].last; ++pc)
+                transfer(prog.code[pc], s);
+            s[isa::reg_zero] = Lat::cst(0);
+            for (std::uint32_t succ : cfg.blocks[b].succs) {
+                if (!in_valid[succ]) {
+                    in[succ] = s;
+                    in_valid[succ] = true;
+                    changed = true;
+                } else if (mergeInto(in[succ], s)) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    ConstProp cp;
+    for (std::size_t b = 0; b < nb; ++b) {
+        if (!cfg.reachable[b] || !in_valid[b])
+            continue;
+        RegState s = in[b];
+        for (std::uint32_t pc = cfg.blocks[b].first;
+             pc <= cfg.blocks[b].last; ++pc) {
+            const Instruction &inst = prog.code[pc];
+            if (isa::readsMemory(inst) || isa::writesMemory(inst)) {
+                const Lat base = s[inst.rs1];
+                if (base.kind == Lat::Const) {
+                    cp.accesses.push_back(
+                        {pc,
+                         base.v + static_cast<std::uint64_t>(inst.imm),
+                         isa::writesMemory(inst)});
+                }
+            }
+            transfer(inst, s);
+            s[isa::reg_zero] = Lat::cst(0);
+        }
+    }
+    std::sort(cp.accesses.begin(), cp.accesses.end(),
+              [](const StaticAccess &a, const StaticAccess &b) {
+                  return a.pc < b.pc;
+              });
+    return cp;
+}
+
+int
+SlotMap::slotOf(std::uint64_t addr) const
+{
+    const auto it = std::lower_bound(addrs.begin(), addrs.end(), addr);
+    if (it == addrs.end() || *it != addr)
+        return -1;
+    return 32 + static_cast<int>(it - addrs.begin());
+}
+
+SlotMap
+SlotMap::build(const ConstProp &cp)
+{
+    SlotMap map;
+    for (const StaticAccess &a : cp.accesses)
+        map.addrs.push_back(a.addr & ~7ull);
+    std::sort(map.addrs.begin(), map.addrs.end());
+    map.addrs.erase(std::unique(map.addrs.begin(), map.addrs.end()),
+                    map.addrs.end());
+    return map;
+}
+
+Liveness
+computeLiveness(const Cfg &cfg, const ConstProp &cp)
+{
+    const isa::Program &prog = *cfg.prog;
+    const std::size_t nb = cfg.blocks.size();
+
+    Liveness lv;
+    lv.slots = SlotMap::build(cp);
+    const std::size_t ns = lv.slots.numSlots();
+
+    // Block summaries: use (read before any def), def.
+    std::vector<BitSet> use(nb, BitSet(ns));
+    std::vector<BitSet> def(nb, BitSet(ns));
+    for (std::size_t b = 0; b < nb; ++b) {
+        if (!cfg.reachable[b])
+            continue;
+        for (std::uint32_t pc = cfg.blocks[b].first;
+             pc <= cfg.blocks[b].last; ++pc) {
+            const Instruction &inst = prog.code[pc];
+            int reads[2];
+            regUses(inst, reads);
+            for (int r : reads) {
+                if (r >= 0 && !def[b].test(static_cast<std::size_t>(r)))
+                    use[b].set(static_cast<std::size_t>(r));
+            }
+            if (isa::readsMemory(inst)) {
+                const StaticAccess *acc = cp.accessAt(pc);
+                const int slot =
+                    acc ? lv.slots.slotOf(acc->addr & ~7ull) : -1;
+                if (slot >= 0) {
+                    if (!def[b].test(static_cast<std::size_t>(slot)))
+                        use[b].set(static_cast<std::size_t>(slot));
+                } else {
+                    // Dynamic load: may observe any static word.
+                    for (std::size_t s = 32; s < ns; ++s) {
+                        if (!def[b].test(s))
+                            use[b].set(s);
+                    }
+                }
+            }
+            if (isa::writesMemory(inst)) {
+                const StaticAccess *acc = cp.accessAt(pc);
+                const int slot =
+                    acc ? lv.slots.slotOf(acc->addr & ~7ull) : -1;
+                if (slot >= 0)
+                    def[b].set(static_cast<std::size_t>(slot));
+            }
+            const int d = regDef(inst);
+            if (d >= 0)
+                def[b].set(static_cast<std::size_t>(d));
+        }
+    }
+
+    lv.live_out.assign(nb, BitSet(ns));
+    std::vector<BitSet> live_in(nb, BitSet(ns));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = nb; i-- > 0;) {
+            if (!cfg.reachable[i])
+                continue;
+            for (std::uint32_t s : cfg.blocks[i].succs)
+                changed |= lv.live_out[i].orWith(live_in[s]);
+            // live_in = use | (live_out - def)
+            BitSet in = lv.live_out[i];
+            for (std::size_t slot = 0; slot < ns; ++slot) {
+                if (def[i].test(slot))
+                    in.clear(slot);
+            }
+            in.orWith(use[i]);
+            changed |= live_in[i].orWith(in);
+        }
+    }
+    return lv;
+}
+
+MayUninit
+computeMayUninit(const Cfg &cfg)
+{
+    const isa::Program &prog = *cfg.prog;
+    const std::size_t nb = cfg.blocks.size();
+    constexpr std::size_t ns = 32;
+
+    // def summary per block.
+    std::vector<BitSet> def(nb, BitSet(ns));
+    for (std::size_t b = 0; b < nb; ++b) {
+        for (std::uint32_t pc = cfg.blocks[b].first;
+             pc <= cfg.blocks[b].last; ++pc) {
+            const int d = regDef(prog.code[pc]);
+            if (d >= 0)
+                def[b].set(static_cast<std::size_t>(d));
+        }
+    }
+
+    MayUninit mu;
+    mu.in.assign(nb, BitSet(ns));
+    const std::uint32_t entry = cfg.entryBlock();
+    mu.in[entry].setAll();
+    mu.in[entry].clear(isa::reg_zero);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < nb; ++b) {
+            if (!cfg.reachable[b])
+                continue;
+            BitSet out = mu.in[b];
+            for (std::size_t slot = 0; slot < ns; ++slot) {
+                if (def[b].test(slot))
+                    out.clear(slot);
+            }
+            for (std::uint32_t s : cfg.blocks[b].succs)
+                changed |= mu.in[s].orWith(out);
+        }
+    }
+    return mu;
+}
+
+} // namespace pgss::progcheck

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dataflow machinery shared by the verifier passes: a sparse constant
+ * propagation that resolves statically-addressed memory accesses, and
+ * bitvector dataflow (backward liveness, forward may-uninitialised)
+ * over a slot space of the 32 architectural registers plus one slot
+ * per distinct static data word. All analyses run on the global CFG
+ * (call edges into subroutines, declared return edges back out), so
+ * effects observed across calls — e.g. a cursor stored by one kernel
+ * invocation and loaded by the next — are modelled.
+ */
+
+#ifndef PGSS_PROGCHECK_DATAFLOW_HH
+#define PGSS_PROGCHECK_DATAFLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "progcheck/cfg.hh"
+
+namespace pgss::progcheck
+{
+
+/** A memory access whose byte address is a compile-time constant. */
+struct StaticAccess
+{
+    std::uint32_t pc = 0;    ///< instruction index
+    std::uint64_t addr = 0;  ///< byte address
+    bool is_store = false;
+};
+
+/**
+ * Constant-propagation result: per-pc resolved memory addresses. Only
+ * addresses that are the same constant on every path reaching the
+ * instruction are recorded; loop-carried pointers merge to unknown.
+ */
+struct ConstProp
+{
+    std::vector<StaticAccess> accesses; ///< ascending by pc
+
+    /** The access at @p pc, or nullptr when its address is dynamic. */
+    const StaticAccess *accessAt(std::uint32_t pc) const;
+};
+
+/** Run constant propagation over reachable blocks of @p cfg. */
+ConstProp runConstProp(const Cfg &cfg);
+
+/** Dense bitset sized at construction; slots indexed from 0. */
+class BitSet
+{
+  public:
+    explicit BitSet(std::size_t bits = 0)
+        : words_((bits + 63) / 64, 0)
+    {
+    }
+
+    void set(std::size_t i) { words_[i >> 6] |= 1ull << (i & 63); }
+    void clear(std::size_t i)
+    {
+        words_[i >> 6] &= ~(1ull << (i & 63));
+    }
+    bool test(std::size_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+    void setAll()
+    {
+        for (auto &w : words_)
+            w = ~0ull;
+    }
+
+    /** this |= other; returns true when any bit changed. */
+    bool orWith(const BitSet &other)
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            const std::uint64_t merged = words_[i] | other.words_[i];
+            changed |= merged != words_[i];
+            words_[i] = merged;
+        }
+        return changed;
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * Slot space of the dataflow bitvectors: registers r0..r31 occupy
+ * slots 0..31, each distinct static data word one slot after that.
+ */
+struct SlotMap
+{
+    std::vector<std::uint64_t> addrs; ///< sorted unique word addresses
+
+    std::size_t numSlots() const { return 32 + addrs.size(); }
+
+    /** Slot of the static word at @p addr, or -1. */
+    int slotOf(std::uint64_t addr) const;
+
+    /** Build from the static accesses in @p cp. */
+    static SlotMap build(const ConstProp &cp);
+};
+
+/**
+ * Backward may-liveness: live_out[b] holds the slots whose values may
+ * still be observed after block @p b executes. A load with a dynamic
+ * address conservatively uses every static-memory slot; a store with
+ * a dynamic address kills nothing.
+ */
+struct Liveness
+{
+    SlotMap slots;
+    std::vector<BitSet> live_out; ///< per block id
+};
+
+Liveness computeLiveness(const Cfg &cfg, const ConstProp &cp);
+
+/**
+ * Forward may-uninitialised registers: in[b] holds the registers that
+ * may reach block @p b without any write (r0 is always initialised).
+ * Memory slots are not tracked — the data image is host-initialised.
+ */
+struct MayUninit
+{
+    std::vector<BitSet> in; ///< per block id, register slots only
+};
+
+MayUninit computeMayUninit(const Cfg &cfg);
+
+} // namespace pgss::progcheck
+
+#endif // PGSS_PROGCHECK_DATAFLOW_HH

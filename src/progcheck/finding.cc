@@ -1,0 +1,94 @@
+#include "progcheck/finding.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.hh"
+
+namespace pgss::progcheck
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(Check::NumChecks)>
+    check_names = {{
+        "structure.bad-target",
+        "structure.falls-off-end",
+        "structure.indirect-no-targets",
+        "cfg.unreachable-code",
+        "dataflow.read-before-write",
+        "dataflow.dead-store-reg",
+        "conv.callee-writes-reserved",
+        "conv.callee-clobbers-link",
+        "conv.call-into-mid-proc",
+        "mem.out-of-segment",
+        "mem.misaligned",
+        "mem.dead-store",
+        "ras.underflow",
+        "ras.leak",
+        "ras.fall-into-proc",
+        "ras.recursion-unverified",
+    }};
+
+} // anonymous namespace
+
+std::string_view
+checkName(Check check)
+{
+    const auto idx = static_cast<std::size_t>(check);
+    util::panicIf(idx >= check_names.size(),
+                  "checkName: check out of range");
+    return check_names[idx];
+}
+
+std::string_view
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    util::panic("severityName: severity out of range");
+}
+
+std::string
+Finding::str() const
+{
+    std::string out;
+    out += severityName(severity);
+    out += ' ';
+    out += checkName(check);
+    out += " @";
+    out += std::to_string(pc);
+    out += ": ";
+    out += message;
+    return out;
+}
+
+std::size_t
+Report::count(Severity severity) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        findings.begin(), findings.end(),
+        [severity](const Finding &f) { return f.severity == severity; }));
+}
+
+void
+Report::sort()
+{
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return static_cast<int>(a.check) <
+                                static_cast<int>(b.check);
+                     });
+}
+
+} // namespace pgss::progcheck

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The verifier's analysis passes. Each pass consumes the CFG (and the
+ * dataflow results where needed) and appends findings to a Report;
+ * verifier.cc orchestrates them. Pass-by-pass documentation lives in
+ * DESIGN.md section 10.
+ */
+
+#ifndef PGSS_PROGCHECK_PASSES_HH
+#define PGSS_PROGCHECK_PASSES_HH
+
+#include "progcheck/cfg.hh"
+#include "progcheck/dataflow.hh"
+#include "progcheck/finding.hh"
+
+namespace pgss::progcheck
+{
+
+/** Verifier knobs. Defaults match the workload builder's convention. */
+struct Options
+{
+    std::uint8_t link_reg = 1;        ///< subroutine link register
+    std::uint8_t reserved_first = 16; ///< first driver-reserved reg
+    std::uint8_t reserved_last = 19;  ///< last driver-reserved reg
+    bool check_convention = true;     ///< run the call-convention pass
+    bool check_dead_stores = true;    ///< register + memory dead stores
+    bool check_uninit = true;         ///< read-before-write pass
+    std::size_t max_findings = 1000;  ///< cap per program
+};
+
+/** Decode-level sanity: targets in range, termination, declarations. */
+void checkStructure(const Cfg &cfg, Report &report);
+
+/** Flag blocks that can never execute. */
+void checkReachability(const Cfg &cfg, Report &report);
+
+/** Register def-use: reads before writes, dead register stores. */
+void checkDefUse(const Cfg &cfg, const ConstProp &cp,
+                 const Liveness &lv, const MayUninit &mu,
+                 const Options &opt, Report &report);
+
+/** Call-convention: reserved registers, link discipline, call sites. */
+void checkConvention(const Cfg &cfg, const Options &opt,
+                     Report &report);
+
+/** Static addresses: segment containment, alignment, dead stores. */
+void checkMemory(const Cfg &cfg, const ConstProp &cp,
+                 const Liveness &lv, const Options &opt,
+                 Report &report);
+
+/** Return-address-stack discipline across every path. */
+void checkRas(const Cfg &cfg, Report &report);
+
+} // namespace pgss::progcheck
+
+#endif // PGSS_PROGCHECK_PASSES_HH

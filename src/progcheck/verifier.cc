@@ -1,0 +1,93 @@
+#include "progcheck/verifier.hh"
+
+#include <ostream>
+
+#include "obs/json.hh"
+#include "progcheck/cfg.hh"
+#include "progcheck/dataflow.hh"
+#include "util/env.hh"
+
+namespace pgss::progcheck
+{
+
+Report
+verify(const isa::Program &prog, const Options &opt)
+{
+    Report report;
+    report.program = prog.name;
+    report.code_size = prog.code.size();
+    if (prog.code.empty()) {
+        report.findings.push_back({Check::FallsOffEnd, Severity::Error,
+                                   0, "program has no instructions"});
+        return report;
+    }
+
+    const Cfg cfg = buildCfg(prog, opt.link_reg);
+    const ConstProp cp = runConstProp(cfg);
+    const Liveness lv = computeLiveness(cfg, cp);
+    const MayUninit mu = computeMayUninit(cfg);
+
+    checkStructure(cfg, report);
+    checkReachability(cfg, report);
+    checkDefUse(cfg, cp, lv, mu, opt, report);
+    if (opt.check_convention)
+        checkConvention(cfg, opt, report);
+    checkMemory(cfg, cp, lv, opt, report);
+    checkRas(cfg, report);
+
+    report.sort();
+    if (report.findings.size() > opt.max_findings)
+        report.findings.resize(opt.max_findings);
+    return report;
+}
+
+void
+renderText(std::ostream &os, const Report &report)
+{
+    os << report.program << ": " << report.code_size
+       << " instructions, " << report.count(Severity::Error)
+       << " error(s), " << report.count(Severity::Warning)
+       << " warning(s)\n";
+    for (const Finding &f : report.findings)
+        os << "  " << f.str() << "\n";
+}
+
+std::string
+reportJson(const Report &report)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("program", report.program);
+    w.field("code_size",
+            static_cast<std::uint64_t>(report.code_size));
+    w.field("errors",
+            static_cast<std::uint64_t>(report.count(Severity::Error)));
+    w.field("warnings", static_cast<std::uint64_t>(
+                            report.count(Severity::Warning)));
+    w.beginArray("findings");
+    for (const Finding &f : report.findings) {
+        w.beginObject();
+        w.field("code", std::string(checkName(f.check)));
+        w.field("severity", std::string(severityName(f.severity)));
+        w.field("pc", f.pc);
+        w.field("message", f.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+verifyOnBuild()
+{
+#ifdef NDEBUG
+    const char *def = "0";
+#else
+    const char *def = "1";
+#endif
+    const std::string v = util::envString("PGSS_VERIFY_PROGRAMS", def);
+    return v == "1" || v == "on" || v == "ON";
+}
+
+} // namespace pgss::progcheck

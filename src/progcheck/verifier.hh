@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Entry point of the program verifier: runs every analysis pass over
+ * one isa::Program and returns a Report. Three consumers share it:
+ *
+ *  - tools/pgss_lint, the CLI (text and JSON findings, nonzero exit
+ *    on error-severity findings);
+ *  - ProgramBuilder::finalize(), which verifies every built workload
+ *    when PGSS_VERIFY_PROGRAMS is enabled (default: debug builds);
+ *  - the progcheck test suite, which asserts exact finding codes on
+ *    hand-built fixtures and a clean bill for the ten suite
+ *    workloads.
+ */
+
+#ifndef PGSS_PROGCHECK_VERIFIER_HH
+#define PGSS_PROGCHECK_VERIFIER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "progcheck/finding.hh"
+#include "progcheck/passes.hh"
+
+namespace pgss::progcheck
+{
+
+/** Run all passes over @p prog. */
+Report verify(const isa::Program &prog, const Options &opt = {});
+
+/** Render @p report as human-readable text, one finding per line. */
+void renderText(std::ostream &os, const Report &report);
+
+/**
+ * Append @p report as a JSON object:
+ * {"program": ..., "code_size": N, "errors": E, "warnings": W,
+ *  "findings": [{"code", "severity", "pc", "message"}, ...]}.
+ */
+std::string reportJson(const Report &report);
+
+/**
+ * True when finalize()-time verification is enabled: the
+ * PGSS_VERIFY_PROGRAMS environment variable ("0"/"off" disables,
+ * "1"/"on" forces), defaulting to on in debug builds (NDEBUG unset)
+ * and off otherwise.
+ */
+bool verifyOnBuild();
+
+} // namespace pgss::progcheck
+
+#endif // PGSS_PROGCHECK_VERIFIER_HH

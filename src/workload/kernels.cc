@@ -53,7 +53,8 @@ emitStream(ProgramBuilder &b, const KernelSpec &spec)
         1, spec.stride_words);
     const std::uint64_t iters =
         std::max<std::uint64_t>(8, spec.footprint_bytes / (8 * stride));
-    const std::uint64_t base = b.allocData(iters * stride * 8);
+    const std::uint64_t base =
+        b.allocData(iters * stride * 8, 64, "stream.data");
 
     KernelCode kc;
     b.markBlockStart();
@@ -77,8 +78,8 @@ emitChase(ProgramBuilder &b, const KernelSpec &spec)
 {
     const std::uint64_t n =
         std::max<std::uint64_t>(16, spec.footprint_bytes / 8);
-    const std::uint64_t base = b.allocData(n * 8);
-    const std::uint64_t cursor = b.allocData(8, 8);
+    const std::uint64_t base = b.allocData(n * 8, 64, "chase.nodes");
+    const std::uint64_t cursor = b.allocData(8, 8, "chase.cursor");
 
     // Host-side: one random Hamiltonian cycle through the n slots.
     util::Rng rng(spec.seed * 0x51ed2701u + 17);
@@ -107,9 +108,15 @@ emitChase(ProgramBuilder &b, const KernelSpec &spec)
     for (std::uint32_t f = 0; f < filler; ++f)
         b.emit(Opcode::Addi, static_cast<R>(r_t0 + f),
                static_cast<R>(r_t0 + f), 0, 1);
-    emitLoopTail(b, loop);
-    // The loop-back bne falls through on the final trip, then the
-    // cursor is saved so the walk resumes where it stopped.
+    b.emit(Opcode::Addi, r_cnt, r_cnt, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, r_cnt, 0);
+    b.patchTarget(br, loop);
+    // The loop-back bne falls through on the final trip; the cursor
+    // is saved before returning so the walk resumes where it
+    // stopped. (The seed emitted this St after the return, where it
+    // could never execute — the progcheck unreachable-code finding
+    // this PR's regression test pins.)
+    b.markBlockStart();
     b.emit(Opcode::St, 0, r_base2, r_base, 0);
     b.emit(Opcode::Jalr, 0, regs::link, 0, 0);
     kc.ops_per_call =
@@ -165,7 +172,8 @@ emitBranchy(ProgramBuilder &b, const KernelSpec &spec)
 {
     const std::uint64_t n =
         std::max<std::uint64_t>(64, spec.footprint_bytes / 8);
-    const std::uint64_t base = b.allocData(n * 8);
+    const std::uint64_t base =
+        b.allocData(n * 8, 64, "branchy.data");
 
     // Host-side: random words whose low bit drives the conditional
     // branch; bit0 == 0 (branch taken, work skipped) with probability
@@ -205,8 +213,8 @@ emitStencil(ProgramBuilder &b, const KernelSpec &spec)
 {
     const std::uint64_t n =
         std::max<std::uint64_t>(16, spec.footprint_bytes / 16);
-    const std::uint64_t in = b.allocData(n * 8);
-    const std::uint64_t out = b.allocData(n * 8);
+    const std::uint64_t in = b.allocData(n * 8, 64, "stencil.in");
+    const std::uint64_t out = b.allocData(n * 8, 64, "stencil.out");
 
     util::Rng rng(spec.seed * 0x2545f491u + 3);
     for (std::uint64_t i = 0; i < n; ++i)
@@ -242,7 +250,8 @@ emitHashScatter(ProgramBuilder &b, const KernelSpec &spec)
 {
     std::uint64_t n = std::bit_floor(
         std::max<std::uint64_t>(64, spec.footprint_bytes / 8));
-    const std::uint64_t base = b.allocData(n * 8);
+    const std::uint64_t base =
+        b.allocData(n * 8, 64, "hash_scatter.data");
 
     KernelCode kc;
     b.markBlockStart();
@@ -271,7 +280,7 @@ emitReduce(ProgramBuilder &b, const KernelSpec &spec)
 {
     const std::uint64_t n =
         std::max<std::uint64_t>(16, spec.footprint_bytes / 8);
-    const std::uint64_t base = b.allocData(n * 8);
+    const std::uint64_t base = b.allocData(n * 8, 64, "reduce.data");
 
     util::Rng rng(spec.seed * 0x853c49e6u + 11);
     for (std::uint64_t i = 0; i < n; ++i)

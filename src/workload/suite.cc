@@ -328,7 +328,7 @@ buildProgram(const WorkloadSpec &spec, double scale)
     // Emit every kernel instance once; remember entries and sizes.
     std::map<std::string, KernelCode> code;
     for (const auto &[name, kspec_] : spec.instances) {
-        util::panicIf(code.count(name) != 0,
+        util::panicIf(code.contains(name),
                       "duplicate kernel instance name");
         code[name] = emitKernel(b, kspec_);
     }

@@ -224,6 +224,7 @@ TEST(CpuSemantics, BranchOutcomes)
 TEST(CpuSemantics, JalWritesLinkAndJumps)
 {
     workload::ProgramBuilder pb("jal");
+    pb.setVerifyOnFinalize(false); // skipped inst is unreachable
     pb.emit(Opcode::Jal, 1, 0, 0, 2); // jump over next inst
     pb.emit(Opcode::Addi, 3, 0, 0, 1);
     pb.emit(Opcode::Halt, 0, 0, 0, 0);
@@ -236,6 +237,7 @@ TEST(CpuSemantics, JalWritesLinkAndJumps)
 TEST(CpuSemantics, JalrJumpsThroughRegister)
 {
     workload::ProgramBuilder pb("jalr");
+    pb.setVerifyOnFinalize(false); // computed jump, no declared set
     pb.loadImm(2, 3);
     pb.emit(Opcode::Jalr, 1, 2, 0, 0); // to index 3
     pb.emit(Opcode::Addi, 3, 0, 0, 1);
@@ -249,6 +251,7 @@ TEST(CpuSemantics, JalrJumpsThroughRegister)
 TEST(CpuSemantics, HaltStopsExecution)
 {
     workload::ProgramBuilder pb("halt");
+    pb.setVerifyOnFinalize(false); // code after halt is unreachable
     pb.emit(Opcode::Halt, 0, 0, 0, 0);
     pb.emit(Opcode::Addi, 3, 0, 0, 1);
     MiniRun run(pb.finalize(0));

@@ -1,0 +1,196 @@
+/** @file Tests for the progcheck CFG builder and derived analyses. */
+
+#include <gtest/gtest.h>
+
+#include "progcheck/cfg.hh"
+#include "workload/program_builder.hh"
+
+using namespace pgss;
+using namespace pgss::progcheck;
+using isa::Opcode;
+
+namespace
+{
+
+isa::Instruction
+ins(Opcode op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+    std::int64_t imm)
+{
+    return {op, rd, rs1, rs2, imm};
+}
+
+/** A raw program: no builder, no derived metadata. */
+isa::Program
+rawProgram(std::vector<isa::Instruction> code, std::uint64_t entry = 0)
+{
+    isa::Program p;
+    p.name = "fixture";
+    p.code = std::move(code);
+    p.entry = entry;
+    return p;
+}
+
+} // namespace
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    const isa::Program p = rawProgram({
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Addi, 3, 2, 0, 2),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 1u);
+    EXPECT_EQ(cfg.blocks[0].first, 0u);
+    EXPECT_EQ(cfg.blocks[0].last, 2u);
+    EXPECT_EQ(cfg.blocks[0].size(), 3u);
+    EXPECT_TRUE(cfg.blocks[0].succs.empty());
+    EXPECT_TRUE(cfg.reachable[0]);
+    EXPECT_EQ(cfg.entryBlock(), 0u);
+}
+
+TEST(Cfg, BranchSplitsBlocksAndLinksEdges)
+{
+    // 0: Addi            \ B0
+    // 1: Beq -> 4        /
+    // 2: Addi            \ B1
+    // 3: Jal r0 -> 5     /
+    // 4: Addi              B2   (branch target)
+    // 5: Halt              B3
+    const isa::Program p = rawProgram({
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Beq, 0, 2, 0, 4),
+        ins(Opcode::Addi, 3, 0, 0, 2),
+        ins(Opcode::Jal, 0, 0, 0, 5),
+        ins(Opcode::Addi, 4, 0, 0, 3),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 4u);
+    EXPECT_EQ(cfg.block_of[1], 0u);
+    EXPECT_EQ(cfg.block_of[3], 1u);
+    EXPECT_EQ(cfg.block_of[4], 2u);
+    EXPECT_EQ(cfg.block_of[5], 3u);
+    EXPECT_EQ(cfg.blocks[0].succs,
+              (std::vector<std::uint32_t>{1, 2}));
+    EXPECT_EQ(cfg.blocks[1].succs, (std::vector<std::uint32_t>{3}));
+    EXPECT_EQ(cfg.blocks[2].succs, (std::vector<std::uint32_t>{3}));
+    EXPECT_EQ(cfg.blocks[3].preds,
+              (std::vector<std::uint32_t>{1, 2}));
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_TRUE(cfg.reachable[b]) << "block " << b;
+}
+
+TEST(Cfg, DominatorsOfDiamond)
+{
+    const isa::Program p = rawProgram({
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Beq, 0, 2, 0, 4),
+        ins(Opcode::Addi, 3, 0, 0, 2),
+        ins(Opcode::Jal, 0, 0, 0, 5),
+        ins(Opcode::Addi, 4, 0, 0, 3),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    const Cfg cfg = buildCfg(p);
+    EXPECT_EQ(cfg.idom[1], 0u);
+    EXPECT_EQ(cfg.idom[2], 0u);
+    EXPECT_EQ(cfg.idom[3], 0u); // join: neither branch arm dominates
+    EXPECT_TRUE(cfg.dominates(0, 3));
+    EXPECT_FALSE(cfg.dominates(1, 3));
+    EXPECT_FALSE(cfg.dominates(2, 3));
+    EXPECT_TRUE(cfg.dominates(0, 0));
+}
+
+TEST(Cfg, JumpedOverBlockIsUnreachable)
+{
+    const isa::Program p = rawProgram({
+        ins(Opcode::Jal, 0, 0, 0, 2),
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    EXPECT_TRUE(cfg.reachable[0]);
+    EXPECT_FALSE(cfg.reachable[cfg.block_of[1]]);
+    EXPECT_TRUE(cfg.reachable[cfg.block_of[2]]);
+    EXPECT_EQ(cfg.idom[cfg.block_of[1]], npos);
+}
+
+TEST(Cfg, MidCodeEntryIsALeader)
+{
+    const isa::Program p = rawProgram(
+        {
+            ins(Opcode::Addi, 2, 0, 0, 1),
+            ins(Opcode::Addi, 3, 0, 0, 2),
+            ins(Opcode::Halt, 0, 0, 0, 0),
+        },
+        1);
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.entryBlock(), 1u);
+    EXPECT_FALSE(cfg.reachable[0]); // code before the entry
+    EXPECT_TRUE(cfg.reachable[1]);
+}
+
+TEST(Cfg, CallPartitionsProcedures)
+{
+    // sub:   0: Addi r2,r2,1
+    //        1: Jalr r0,r1,0  (return; target derived by finalize)
+    // entry: 2: Jal r1 -> 0
+    //        3: Halt
+    workload::ProgramBuilder b("t");
+    b.emit(Opcode::Addi, 2, 2, 0, 1);
+    b.emit(Opcode::Jalr, 0, workload::regs::link, 0, 0);
+    b.emit(Opcode::Jal, workload::regs::link, 0, 0, 0);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    const isa::Program p = b.finalize(2);
+
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.procs.size(), 2u);
+    EXPECT_TRUE(cfg.procs[0].is_program_entry);
+    EXPECT_EQ(cfg.procs[0].entry_pc, 2u);
+    EXPECT_EQ(cfg.procs[0].calls, (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(cfg.procs[0].halts, (std::vector<std::uint32_t>{3}));
+    EXPECT_TRUE(cfg.procs[0].returns.empty());
+    EXPECT_FALSE(cfg.procs[1].is_program_entry);
+    EXPECT_EQ(cfg.procs[1].entry_pc, 0u);
+    EXPECT_EQ(cfg.procs[1].returns, (std::vector<std::uint32_t>{1}));
+    EXPECT_TRUE(cfg.procs[0].escapes.empty());
+    EXPECT_TRUE(cfg.procs[1].escapes.empty());
+    // The derived return edge makes everything reachable.
+    for (std::size_t b2 = 0; b2 < cfg.blocks.size(); ++b2)
+        EXPECT_TRUE(cfg.reachable[b2]) << "block " << b2;
+}
+
+TEST(Cfg, IndirectTargetSetLookup)
+{
+    isa::Program p = rawProgram({
+        ins(Opcode::Jalr, 0, 5, 0, 0),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    p.indirect_targets.push_back({0, {1}});
+    const Cfg cfg = buildCfg(p);
+    ASSERT_NE(cfg.indirectTargets(0), nullptr);
+    EXPECT_EQ(*cfg.indirectTargets(0),
+              (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(cfg.indirectTargets(1), nullptr);
+    // The declared edge is a real successor.
+    EXPECT_EQ(cfg.blocks[0].succs, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(Cfg, UndeclaredIndirectJumpHasNoSuccessors)
+{
+    const isa::Program p = rawProgram({
+        ins(Opcode::Jalr, 0, 5, 0, 0),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    const Cfg cfg = buildCfg(p);
+    EXPECT_TRUE(cfg.blocks[0].succs.empty());
+    EXPECT_FALSE(cfg.reachable[cfg.block_of[1]]);
+}
+
+TEST(CfgDeathTest, EmptyProgramPanics)
+{
+    const isa::Program p;
+    EXPECT_DEATH(buildCfg(p), "empty program");
+}

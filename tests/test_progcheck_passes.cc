@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Fixture tests for the verifier passes: each defect class gets a
+ * minimal program and an assertion on the exact finding code and
+ * location, plus the emitChase dead-store regression this subsystem
+ * was built to catch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "progcheck/verifier.hh"
+#include "workload/program_builder.hh"
+
+using namespace pgss;
+using namespace pgss::progcheck;
+using isa::Opcode;
+
+namespace
+{
+
+isa::Instruction
+ins(Opcode op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+    std::int64_t imm)
+{
+    return {op, rd, rs1, rs2, imm};
+}
+
+isa::Program
+rawProgram(std::vector<isa::Instruction> code, std::uint64_t entry = 0)
+{
+    isa::Program p;
+    p.name = "fixture";
+    p.code = std::move(code);
+    p.entry = entry;
+    return p;
+}
+
+const Finding *
+findingAt(const Report &report, Check check, std::uint64_t pc)
+{
+    for (const Finding &f : report.findings) {
+        if (f.check == check && f.pc == pc)
+            return &f;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(ProgcheckPasses, UnreachableBlockIsAnError)
+{
+    const Report r = verify(rawProgram({
+        ins(Opcode::Jal, 0, 0, 0, 2),
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    }));
+    const Finding *f = findingAt(r, Check::UnreachableCode, 1);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(ProgcheckPasses, BadTargetIsAnError)
+{
+    const Report r = verify(rawProgram({
+        ins(Opcode::Beq, 0, 0, 0, 99),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    }));
+    const Finding *f = findingAt(r, Check::BadTarget, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(ProgcheckPasses, FallsOffEndIsAnError)
+{
+    const Report r = verify(rawProgram({
+        ins(Opcode::Addi, 2, 0, 0, 1),
+    }));
+    const Finding *f = findingAt(r, Check::FallsOffEnd, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(ProgcheckPasses, ReadBeforeWriteIsAWarning)
+{
+    const Report r = verify(rawProgram({
+        ins(Opcode::Add, 3, 2, 2, 0),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    }));
+    const Finding *f = findingAt(r, Check::ReadBeforeWrite, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Warning);
+    EXPECT_NE(f->message.find("r2"), std::string::npos);
+    EXPECT_TRUE(r.clean()); // registers are architecturally zero
+}
+
+TEST(ProgcheckPasses, OverwrittenValueIsADeadStore)
+{
+    const Report r = verify(rawProgram({
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Addi, 2, 0, 0, 2),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    }));
+    const Finding *f = findingAt(r, Check::DeadStoreReg, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Warning);
+}
+
+TEST(ProgcheckPasses, DeadStoresCanBeDisabled)
+{
+    Options opt;
+    opt.check_dead_stores = false;
+    const Report r = verify(rawProgram({
+                                ins(Opcode::Addi, 2, 0, 0, 1),
+                                ins(Opcode::Addi, 2, 0, 0, 2),
+                                ins(Opcode::Halt, 0, 0, 0, 0),
+                            }),
+                            opt);
+    EXPECT_EQ(findingAt(r, Check::DeadStoreReg, 0), nullptr);
+}
+
+TEST(ProgcheckPasses, ReturnAtEntryUnderflowsTheRas)
+{
+    const Report r = verify(rawProgram({
+        ins(Opcode::Jalr, 0, 1, 0, 0),
+    }));
+    const Finding *f = findingAt(r, Check::RasUnderflow, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+    // An undeclared return is also flagged as an opaque indirect.
+    EXPECT_NE(findingAt(r, Check::IndirectNoTargets, 0), nullptr);
+}
+
+TEST(ProgcheckPasses, HaltInsideSubroutineLeaksTheRas)
+{
+    // sub:   0: Halt
+    // entry: 1: Jal r1 -> 0
+    const Report r = verify(rawProgram(
+        {
+            ins(Opcode::Halt, 0, 0, 0, 0),
+            ins(Opcode::Jal, 1, 0, 0, 0),
+        },
+        1));
+    const Finding *f = findingAt(r, Check::RasLeak, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Warning);
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(ProgcheckPasses, JumpIntoSubroutineWithoutCallIsAnError)
+{
+    // entry: 0: Jal r1 -> 3   (legitimate call)
+    //        1: Addi          (continuation)
+    //        2: Jal r0 -> 3   (jump into the subroutine: no RAS push)
+    // sub:   3: Addi
+    //        4: Jalr r0,r1,0  (return -> 1)
+    isa::Program p = rawProgram({
+        ins(Opcode::Jal, 1, 0, 0, 3),
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Jal, 0, 0, 0, 3),
+        ins(Opcode::Addi, 3, 0, 0, 1),
+        ins(Opcode::Jalr, 0, 1, 0, 0),
+    });
+    p.indirect_targets.push_back({4, {1}});
+    const Report r = verify(p);
+    const Finding *f = findingAt(r, Check::FallIntoProc, 2);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(ProgcheckPasses, SelfCallIsUnverifiableRecursion)
+{
+    // entry: 0: Jal r1 -> 2; 1: Halt
+    // sub:   2: Jal r1 -> 2 (self call); 3: Jalr r0,r1,0
+    isa::Program p = rawProgram({
+        ins(Opcode::Jal, 1, 0, 0, 2),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+        ins(Opcode::Jal, 1, 0, 0, 2),
+        ins(Opcode::Jalr, 0, 1, 0, 0),
+    });
+    p.indirect_targets.push_back({3, {1, 3}});
+    const Report r = verify(p);
+    const Finding *f = findingAt(r, Check::RecursionUnverified, 2);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Warning);
+}
+
+TEST(ProgcheckPasses, SubroutineWritingReservedRegIsAnError)
+{
+    // sub:   0: Addi r16 (driver-reserved); 1: return
+    // entry: 2: Jal r1 -> 0; 3: Halt
+    workload::ProgramBuilder b("t");
+    b.setVerifyOnFinalize(false);
+    b.emit(Opcode::Addi, workload::regs::drv0, 0, 0, 1);
+    b.emit(Opcode::Jalr, 0, workload::regs::link, 0, 0);
+    b.emit(Opcode::Jal, workload::regs::link, 0, 0, 0);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    const Report r = verify(b.finalize(2));
+    const Finding *f = findingAt(r, Check::CalleeWritesReserved, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(ProgcheckPasses, SubroutineClobberingLinkIsAnError)
+{
+    // sub:   0: Addi r2; 1: Addi r1 <- clobbers the return address
+    //        2: Jalr r0,r1,0
+    // entry: 3: Jal r1 -> 0; 4: Halt
+    workload::ProgramBuilder b("t");
+    b.setVerifyOnFinalize(false);
+    b.emit(Opcode::Addi, 2, 0, 0, 1);
+    b.emit(Opcode::Addi, workload::regs::link, 0, 0, 7);
+    b.emit(Opcode::Jalr, 0, workload::regs::link, 0, 0);
+    b.emit(Opcode::Jal, workload::regs::link, 0, 0, 0);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    const Report r = verify(b.finalize(3));
+    const Finding *f = findingAt(r, Check::CalleeClobbersLink, 1);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(ProgcheckPasses, StaticAddressOutsideSegmentsIsAnError)
+{
+    isa::Program p = rawProgram({
+        ins(Opcode::Lui, 2, 0, 0, 128),
+        ins(Opcode::Ld, 3, 2, 0, 0),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    p.segments.push_back({"d", 0, 64});
+    p.data_bytes = 64;
+    const Report r = verify(p);
+    const Finding *f = findingAt(r, Check::OutOfSegment, 1);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_NE(f->message.find("128"), std::string::npos);
+}
+
+TEST(ProgcheckPasses, SegmentGapsAreOutside)
+{
+    // Two segments with a hole between them; an access into the hole
+    // is out-of-segment even though it is inside the data footprint.
+    isa::Program p = rawProgram({
+        ins(Opcode::Lui, 2, 0, 0, 72),
+        ins(Opcode::Ld, 3, 2, 0, 0),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    p.segments.push_back({"a", 0, 64});
+    p.segments.push_back({"b", 128, 64});
+    p.data_bytes = 192;
+    const Report r = verify(p);
+    EXPECT_NE(findingAt(r, Check::OutOfSegment, 1), nullptr);
+}
+
+TEST(ProgcheckPasses, MisalignedStaticAddressIsAnError)
+{
+    isa::Program p = rawProgram({
+        ins(Opcode::Lui, 2, 0, 0, 12),
+        ins(Opcode::Ld, 3, 2, 0, 0),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    p.segments.push_back({"d", 0, 64});
+    p.data_bytes = 64;
+    const Report r = verify(p);
+    const Finding *f = findingAt(r, Check::MisalignedAccess, 1);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+}
+
+TEST(ProgcheckPasses, StoreNeverLoadedIsAMemoryDeadStore)
+{
+    isa::Program p = rawProgram({
+        ins(Opcode::St, 0, 0, 0, 0),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    p.segments.push_back({"d", 0, 64});
+    p.data_bytes = 64;
+    const Report r = verify(p);
+    const Finding *f = findingAt(r, Check::DeadStoreMem, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Warning);
+}
+
+TEST(ProgcheckPasses, DynamicLoadKeepsStaticStoresAlive)
+{
+    // The load's address is loop-carried (unknown), so it may observe
+    // any static word — the store must not be flagged.
+    isa::Program p = rawProgram({
+        ins(Opcode::St, 0, 0, 0, 0),  // [0] <- r0
+        ins(Opcode::Ld, 2, 0, 0, 0),  // r2 <- [0]
+        ins(Opcode::Ld, 3, 2, 0, 0),  // dynamic: r2 unknown after Ld
+        ins(Opcode::St, 0, 0, 3, 8),  // [8] <- r3
+        ins(Opcode::Ld, 4, 3, 0, 0),  // dynamic
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    });
+    p.segments.push_back({"d", 0, 64});
+    p.data_bytes = 64;
+    const Report r = verify(p);
+    EXPECT_EQ(findingAt(r, Check::DeadStoreMem, 0), nullptr);
+    EXPECT_EQ(findingAt(r, Check::DeadStoreMem, 3), nullptr);
+}
+
+TEST(ProgcheckPasses, EmptyProgramReportsFallsOffEnd)
+{
+    const Report r = verify(isa::Program{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].check, Check::FallsOffEnd);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(ProgcheckPasses, FindingsAreSortedAndRendered)
+{
+    const Report r = verify(rawProgram({
+        ins(Opcode::Jal, 0, 0, 0, 2),
+        ins(Opcode::Addi, 2, 0, 0, 1),
+        ins(Opcode::Halt, 0, 0, 0, 0),
+    }));
+    for (std::size_t i = 1; i < r.findings.size(); ++i)
+        EXPECT_LE(r.findings[i - 1].pc, r.findings[i].pc);
+    ASSERT_FALSE(r.findings.empty());
+    const std::string line = r.findings[0].str();
+    EXPECT_NE(line.find("cfg.unreachable-code"), std::string::npos);
+    EXPECT_NE(line.find("error"), std::string::npos);
+    const std::string json = reportJson(r);
+    EXPECT_NE(json.find("\"code\":\"cfg.unreachable-code\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+}
+
+namespace
+{
+
+/**
+ * Replicate the seed's emitChase tail bug: the cursor-save St was
+ * emitted after the loop-tail return, so it could never execute. The
+ * driver shape matches workload::buildProgram (kernel as subroutine,
+ * entry in the driver).
+ */
+isa::Program
+preFixChaseShape(std::uint32_t &st_pc)
+{
+    using workload::regs::link;
+    workload::ProgramBuilder b("chase-prefix");
+    b.setVerifyOnFinalize(false); // the whole point: it is broken
+    const std::uint64_t nodes = b.allocData(128, 64, "chase.nodes");
+    const std::uint64_t cursor = b.allocData(8, 8, "chase.cursor");
+    b.initWord(cursor, nodes);
+
+    // Kernel.
+    const std::uint32_t kentry = b.here();
+    b.loadImm(3, cursor);          // r3 = &cursor
+    b.emit(Opcode::Ld, 4, 3, 0, 0); // r4 = cursor
+    b.loadImm(2, 4);               // r2 = iters
+    const std::uint32_t loop = b.here();
+    b.markBlockStart();
+    b.emit(Opcode::Ld, 4, 4, 0, 0); // chase
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(br, loop);
+    b.emit(Opcode::Jalr, 0, link, 0, 0); // loop-tail return
+    st_pc = b.here();
+    b.emit(Opcode::St, 0, 3, 4, 0);      // dead cursor save (the bug)
+    b.emit(Opcode::Jalr, 0, link, 0, 0);
+
+    // Driver.
+    const std::uint32_t entry = b.here();
+    b.loadImm(workload::regs::drv0, 3);
+    const std::uint32_t dloop = b.here();
+    b.emit(Opcode::Jal, link, 0, 0, kentry);
+    b.emit(Opcode::Addi, workload::regs::drv0,
+           workload::regs::drv0, 0, -1);
+    const std::uint32_t dbr =
+        b.emitBranch(Opcode::Bne, workload::regs::drv0, 0);
+    b.patchTarget(dbr, dloop);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(entry);
+}
+
+} // namespace
+
+TEST(ProgcheckRegression, SeedChaseDeadCursorSaveIsCaught)
+{
+    std::uint32_t st_pc = 0;
+    const isa::Program p = preFixChaseShape(st_pc);
+    const Report r = verify(p);
+    const Finding *f = findingAt(r, Check::UnreachableCode, st_pc);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+    // The finding calls out the dead store explicitly.
+    EXPECT_NE(f->message.find("dead store"), std::string::npos);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(ProgcheckRegression, FixedChaseShapeIsClean)
+{
+    // Same program with the store moved before the return — the shape
+    // emitChase produces today. No error-severity findings remain.
+    using workload::regs::link;
+    workload::ProgramBuilder b("chase-fixed");
+    const std::uint64_t nodes = b.allocData(128, 64, "chase.nodes");
+    const std::uint64_t cursor = b.allocData(8, 8, "chase.cursor");
+    b.initWord(cursor, nodes);
+
+    const std::uint32_t kentry = b.here();
+    b.loadImm(3, cursor);
+    b.emit(Opcode::Ld, 4, 3, 0, 0);
+    b.loadImm(2, 4);
+    const std::uint32_t loop = b.here();
+    b.markBlockStart();
+    b.emit(Opcode::Ld, 4, 4, 0, 0);
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(br, loop);
+    b.markBlockStart();
+    b.emit(Opcode::St, 0, 3, 4, 0);
+    b.emit(Opcode::Jalr, 0, link, 0, 0);
+
+    const std::uint32_t entry = b.here();
+    b.loadImm(workload::regs::drv0, 3);
+    const std::uint32_t dloop = b.here();
+    b.emit(Opcode::Jal, link, 0, 0, kentry);
+    b.emit(Opcode::Addi, workload::regs::drv0,
+           workload::regs::drv0, 0, -1);
+    const std::uint32_t dbr =
+        b.emitBranch(Opcode::Bne, workload::regs::drv0, 0);
+    b.patchTarget(dbr, dloop);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+
+    const Report r = verify(b.finalize(entry));
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(findingAt(r, Check::UnreachableCode, 0), nullptr);
+    for (const Finding &f : r.findings)
+        EXPECT_NE(f.check, Check::UnreachableCode) << f.str();
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The suite lint gate: every evaluation workload, across input sets
+ * and build scales, must verify with zero error-severity findings.
+ * This is the ctest face of pgss_lint — CI additionally runs the CLI
+ * and uploads its JSON report.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "progcheck/verifier.hh"
+#include "workload/suite.hh"
+
+using namespace pgss;
+using namespace pgss::progcheck;
+
+namespace
+{
+
+struct SuiteCase
+{
+    std::string name;
+    std::uint32_t input;
+    double scale;
+};
+
+std::vector<SuiteCase>
+allCases()
+{
+    std::vector<SuiteCase> cases;
+    for (const std::string &name : workload::suiteNames()) {
+        for (std::uint32_t input = 0; input < workload::num_inputs;
+             ++input) {
+            for (double scale : {0.5, 1.0, 2.0})
+                cases.push_back({name, input, scale});
+        }
+    }
+    return cases;
+}
+
+} // namespace
+
+class SuiteLint : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuiteLint, NoErrorFindings)
+{
+    const SuiteCase c = allCases()[static_cast<std::size_t>(GetParam())];
+    SCOPED_TRACE(c.name + " input=" + std::to_string(c.input) +
+                 " scale=" + std::to_string(c.scale));
+    const workload::BuiltWorkload built =
+        workload::buildWorkload(c.name, c.scale, c.input);
+    const Report report = verify(built.program);
+    EXPECT_EQ(report.count(Severity::Error), 0u);
+    for (const Finding &f : report.findings) {
+        EXPECT_NE(f.severity, Severity::Error) << f.str();
+    }
+    // Non-default inputs suffix the program name ("256.bzip2.in1").
+    EXPECT_EQ(report.program.rfind(c.name, 0), 0u);
+    EXPECT_EQ(report.code_size, built.program.code.size());
+    EXPECT_GT(report.code_size, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SuiteLint,
+    ::testing::Range(0, static_cast<int>(allCases().size())),
+    [](const ::testing::TestParamInfo<int> &info) {
+        const SuiteCase c =
+            allCases()[static_cast<std::size_t>(info.param)];
+        std::string tag = c.name + "_in" + std::to_string(c.input) +
+                          "_x" + std::to_string(
+                                     static_cast<int>(c.scale * 10));
+        for (char &ch : tag) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return tag;
+    });
+
+TEST(SuiteLint, EveryWorkloadDeclaresSegmentsAndReturnTargets)
+{
+    for (const std::string &name : workload::suiteNames()) {
+        SCOPED_TRACE(name);
+        const isa::Program p =
+            workload::buildWorkload(name, 1.0, 0).program;
+        // Kernels allocate through allocData, so segments exist and
+        // cover the whole footprint boundary-to-boundary.
+        EXPECT_FALSE(p.segments.empty());
+        for (const isa::DataSegment &seg : p.segments) {
+            EXPECT_FALSE(seg.label.empty());
+            EXPECT_LE(seg.base + seg.bytes, p.data_bytes);
+        }
+        // finalize() derives a BTB-style target set for every
+        // subroutine return.
+        EXPECT_FALSE(p.indirect_targets.empty());
+        for (const isa::IndirectTargetSet &set : p.indirect_targets) {
+            EXPECT_FALSE(set.targets.empty());
+            for (std::uint32_t t : set.targets)
+                EXPECT_LT(t, p.code.size());
+        }
+    }
+}
+
+TEST(SuiteLint, WupwiseVerifiesClean)
+{
+    const workload::BuiltWorkload built =
+        workload::buildWorkload("wupwise", 1.0, 0);
+    EXPECT_TRUE(verify(built.program).clean());
+}
+
+TEST(SuiteLint, ReportsAreDeterministic)
+{
+    const workload::BuiltWorkload a =
+        workload::buildWorkload("164.gzip", 1.0, 0);
+    const workload::BuiltWorkload b =
+        workload::buildWorkload("164.gzip", 1.0, 0);
+    EXPECT_EQ(reportJson(verify(a.program)),
+              reportJson(verify(b.program)));
+}

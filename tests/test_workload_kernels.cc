@@ -1,5 +1,6 @@
 /** @file Tests for the kernel library. */
 
+#include <algorithm>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -101,6 +102,8 @@ TEST_P(KernelSweep, OpsPerCallEstimateAccurate)
 TEST_P(KernelSweep, DeterministicEmission)
 {
     ProgramBuilder a("a"), b("b");
+    a.setVerifyOnFinalize(false); // kernel-only: return never called
+    b.setVerifyOnFinalize(false);
     const KernelCode ka = emitKernel(a, specFor(kind()));
     const KernelCode kb = emitKernel(b, specFor(kind()));
     EXPECT_EQ(ka.entry, kb.entry);
@@ -124,9 +127,51 @@ INSTANTIATE_TEST_SUITE_P(
         return kindName(static_cast<KernelKind>(info.param));
     });
 
+TEST(ChaseKernel, CursorSaveExecutes)
+{
+    // Each call must resume the walk where the previous one stopped:
+    // the cursor word is rewritten at the end of every call. (The
+    // seed emitted the cursor save after the kernel's return, so the
+    // walk restarted from the same node every call — the progcheck
+    // regression in test_progcheck_passes.cc pins the finding.)
+    KernelSpec spec = specFor(KernelKind::Chase);
+    spec.footprint_bytes = 1024; // 128 nodes, cycle length 128
+    spec.inner_iters = 5;        // walk 5 of them per call
+    double opc = 0.0;
+    const isa::Program p = wrapKernel(spec, 2, opc);
+
+    const auto seg = std::find_if(
+        p.segments.begin(), p.segments.end(),
+        [](const isa::DataSegment &s) {
+            return s.label == "chase.cursor";
+        });
+    ASSERT_NE(seg, p.segments.end());
+    const std::uint64_t slot = seg->base / 8;
+    const std::uint64_t initial = p.data_words[slot];
+
+    mem::MainMemory memory(p.data_bytes);
+    auto image = p.data_words;
+    image.resize(memory.words().size(), 0);
+    memory.setWords(std::move(image));
+    cpu::FunctionalCore core(p, memory);
+    cpu::DynInst rec;
+    while (core.step(rec)) {
+    }
+    const std::uint64_t final_cursor = memory.words()[slot];
+    EXPECT_NE(final_cursor, initial);
+
+    // 2 calls x 5 steps: the cursor must sit exactly 10 pointer hops
+    // beyond its initial node.
+    std::uint64_t at = initial;
+    for (int hop = 0; hop < 10; ++hop)
+        at = p.data_words[at / 8];
+    EXPECT_EQ(final_cursor, at);
+}
+
 TEST(ChaseKernel, PermutationIsOneFullCycle)
 {
     ProgramBuilder b("chase");
+    b.setVerifyOnFinalize(false); // kernel-only: return never called
     KernelSpec spec = specFor(KernelKind::Chase);
     spec.footprint_bytes = 1024; // 128 slots
     emitKernel(b, spec);
@@ -151,6 +196,7 @@ TEST(BranchyKernel, BiasControlsTakenFraction)
 {
     for (double bias : {0.2, 0.8}) {
         ProgramBuilder b("branchy");
+        b.setVerifyOnFinalize(false); // kernel-only fixture
         KernelSpec spec = specFor(KernelKind::Branchy);
         spec.taken_bias = bias;
         spec.footprint_bytes = 32 * 1024; // 4096 elements
@@ -187,6 +233,8 @@ TEST(Kernels, KindNamesDistinct)
 TEST(Kernels, DifferentSeedsDifferentData)
 {
     ProgramBuilder a("a"), b("b");
+    a.setVerifyOnFinalize(false); // kernel-only fixtures
+    b.setVerifyOnFinalize(false);
     KernelSpec sa = specFor(KernelKind::Branchy);
     KernelSpec sb = sa;
     sb.seed = sa.seed + 1;

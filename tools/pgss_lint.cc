@@ -1,0 +1,168 @@
+/**
+ * @file
+ * pgss_lint — static analysis of generated ISA workloads (DESIGN.md
+ * section 10). Builds the named suite workloads (or every one with
+ * --all / no names) and runs the progcheck verifier over each.
+ *
+ *   pgss_lint                        lint all ten suite workloads
+ *   pgss_lint ammp crafty            lint a subset
+ *   pgss_lint --input 2 --scale 0.5  pick input set / build scale
+ *   pgss_lint --json                 machine-readable findings
+ *   pgss_lint --warnings-as-errors   CI-strict mode
+ *
+ * Exit status: 0 when every program is free of error-severity
+ * findings, 1 otherwise, 2 on usage errors. Text findings go to
+ * stdout, one per line, prefixed with the workload name so they
+ * survive grep over CI logs.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "progcheck/verifier.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: pgss_lint [options] [workload...]\n"
+        << "  --all                lint every suite workload "
+           "(default)\n"
+        << "  --input <0-2>        input-set variant (default 0)\n"
+        << "  --scale <x>          build scale (default 1.0)\n"
+        << "  --json               JSON report array on stdout\n"
+        << "  --warnings-as-errors exit 1 on warnings too\n"
+        << "  --quiet              only print findings, no summary\n";
+    return 2;
+}
+
+struct LintOptions
+{
+    std::vector<std::string> names;
+    std::uint32_t input = 0;
+    double scale = 1.0;
+    bool json = false;
+    bool warnings_as_errors = false;
+    bool quiet = false;
+};
+
+bool
+parseArgs(const std::vector<std::string> &args, LintOptions &opt)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--all") {
+            opt.names.clear();
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--warnings-as-errors") {
+            opt.warnings_as_errors = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--input" && i + 1 < args.size()) {
+            opt.input =
+                static_cast<std::uint32_t>(std::stoul(args[++i]));
+        } else if (arg == "--scale" && i + 1 < args.size()) {
+            opt.scale = std::stod(args[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "pgss_lint: unknown option '" << arg << "'\n";
+            return false;
+        } else {
+            opt.names.push_back(arg);
+        }
+    }
+    if (opt.input >= pgss::workload::num_inputs) {
+        std::cerr << "pgss_lint: input must be 0.."
+                  << pgss::workload::num_inputs - 1 << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &arg : args)
+        if (arg == "-h" || arg == "--help")
+            return usage();
+
+    LintOptions opt;
+    if (!parseArgs(args, opt))
+        return usage();
+    if (opt.names.empty())
+        opt.names = pgss::workload::suiteNames();
+
+    std::size_t total_errors = 0;
+    std::size_t total_warnings = 0;
+    std::string json = "[";
+    bool first = true;
+
+    // Validate names up front: buildWorkload() panics on unknown
+    // names, which is the right behaviour in-process but a poor CLI
+    // experience.
+    const std::vector<std::string> &known =
+        pgss::workload::suiteNames();
+    for (const std::string &name : opt.names) {
+        if (std::find(known.begin(), known.end(), name) ==
+                known.end() &&
+            name != "wupwise") {
+            std::cerr << "pgss_lint: unknown workload '" << name
+                      << "'\n";
+            return 2;
+        }
+    }
+
+    for (const std::string &name : opt.names) {
+        const pgss::workload::BuiltWorkload built =
+            pgss::workload::buildWorkload(name, opt.scale, opt.input);
+
+        const pgss::progcheck::Report report =
+            pgss::progcheck::verify(built.program);
+        const std::size_t errors =
+            report.count(pgss::progcheck::Severity::Error);
+        const std::size_t warnings =
+            report.count(pgss::progcheck::Severity::Warning);
+        total_errors += errors;
+        total_warnings += warnings;
+
+        if (opt.json) {
+            if (!first)
+                json += ",";
+            first = false;
+            json += pgss::progcheck::reportJson(report);
+        } else {
+            for (const pgss::progcheck::Finding &f : report.findings)
+                std::cout << name << ": " << f.str() << "\n";
+            if (!opt.quiet)
+                std::cout << name << ": " << report.code_size
+                          << " instructions, " << errors
+                          << " error(s), " << warnings
+                          << " warning(s)\n";
+        }
+    }
+
+    if (opt.json) {
+        json += "]";
+        std::cout << json << "\n";
+    } else if (!opt.quiet) {
+        std::cout << opt.names.size() << " program(s) linted: "
+                  << total_errors << " error(s), " << total_warnings
+                  << " warning(s)\n";
+    }
+
+    if (total_errors > 0)
+        return 1;
+    if (opt.warnings_as_errors && total_warnings > 0)
+        return 1;
+    return 0;
+}
