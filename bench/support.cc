@@ -5,6 +5,7 @@
 
 #include "analysis/profile_cache.hh"
 #include "obs/report.hh"
+#include "obs/spans.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -41,6 +42,7 @@ benchConfig()
 Entry
 loadEntry(const std::string &name)
 {
+    PGSS_SPAN("bench.load_entry", Io);
     Entry e;
     e.name = name;
     const std::size_t dot = name.find('.');
@@ -78,7 +80,12 @@ void
 runEntriesParallel(std::size_t n,
                    const std::function<void(std::size_t)> &body)
 {
-    util::parallelFor(n, benchJobs(), body);
+    // One span per entry, opened on whichever worker runs it, so the
+    // Perfetto trace shows the suite fanning out across the pool.
+    util::parallelFor(n, benchJobs(), [&body](std::size_t i) {
+        PGSS_SPAN("bench.entry", Bench);
+        body(i);
+    });
 }
 
 void

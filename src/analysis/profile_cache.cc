@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "obs/spans.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
@@ -133,6 +134,7 @@ ProfileCache::loadOrBuild(const isa::Program &program,
     const std::string path = pathFor(program, config, interval_ops);
 
     {
+        PGSS_SPAN("profile_cache.load", Io);
         util::BinaryReader r = util::BinaryReader::fromFile(
             path, profile_magic, profile_version);
         if (r.ok()) {
@@ -154,9 +156,12 @@ ProfileCache::loadOrBuild(const isa::Program &program,
     util::inform("building ground-truth profile for %s "
                  "(full detailed simulation; cached at %s)",
                  program.name.c_str(), path.c_str());
-    IntervalProfile p =
-        buildIntervalProfile(program, config, interval_ops);
+    IntervalProfile p = [&] {
+        PGSS_SPAN("profile_cache.build", Bench);
+        return buildIntervalProfile(program, config, interval_ops);
+    }();
 
+    PGSS_SPAN("profile_cache.store", Io);
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     const auto bytes = serializeProfile(p);

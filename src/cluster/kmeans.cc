@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/spans.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -68,6 +69,7 @@ KMeansResult
 kMeans(const std::vector<std::vector<double>> &points, std::uint32_t k,
        std::uint32_t max_iterations, std::uint64_t seed)
 {
+    PGSS_SPAN("cluster.kmeans", Cluster);
     util::panicIf(points.empty(), "kMeans on an empty point set");
     const std::size_t n = points.size();
     const std::size_t dims = points[0].size();

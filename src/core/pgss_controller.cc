@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "bbv/bbv_math.hh"
+#include "obs/spans.hh"
 #include "obs/stats.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
@@ -48,6 +49,7 @@ PgssController::registerStats(obs::Group &parent) const
 PgssResult
 PgssController::run(sim::SimulationEngine &engine)
 {
+    PGSS_SPAN("sampling.pgss", Bench);
     PgssResult res;
     PhaseTable table(config_.compare_last_first);
     AdaptiveThreshold adaptive(config_.adaptive, config_.threshold);

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.hh"
 #include "util/table.hh"
 
 namespace pgss::obs
@@ -68,6 +69,30 @@ timelinesSection(const LoadedReport &report)
 {
     const JsonValue *tl = report.doc.get("timelines");
     return tl && tl->isObject() ? tl : nullptr;
+}
+
+const JsonValue *
+profileSection(const LoadedReport &report)
+{
+    const JsonValue *p = report.doc.get("profile");
+    return p && p->isObject() ? p : nullptr;
+}
+
+double
+numberAt(const JsonValue &obj, const char *key, double fallback = 0.0)
+{
+    const JsonValue *v = obj.get(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+fmtPercentOfWall(double seconds, double wall)
+{
+    if (wall <= 0.0)
+        return "n/a";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", seconds / wall * 100.0);
+    return buf;
 }
 
 /** The "op" array of a series object as uint64s (empty when absent). */
@@ -224,7 +249,7 @@ loadReportFromString(const std::string &text, LoadedReport &out,
     if (const JsonValue *partial = out.doc.get("partial"))
         out.partial = partial->isBool() && partial->boolean;
     out.values.clear();
-    for (const char *section : {"meta", "perf", "stats"})
+    for (const char *section : {"meta", "perf", "stats", "profile"})
         if (const JsonValue *v = out.doc.get(section))
             if (v->isObject())
                 flattenNumeric(*v, section, out.values);
@@ -291,6 +316,11 @@ renderReport(std::ostream &os, const LoadedReport &report)
         os << "\n";
     }
 
+    if (profileSection(report)) {
+        renderProfile(os, report);
+        os << "\n";
+    }
+
     renderTimelines(os, report);
 }
 
@@ -341,6 +371,233 @@ renderTimelines(std::ostream &os, const LoadedReport &report)
         if (dropped->asUint() > 0)
             os << "\n(" << dropped->asUint()
                << " further runs dropped: max_runs reached)\n";
+}
+
+namespace
+{
+
+/** One parsed "profile.flat" row. */
+struct FlatSpan
+{
+    std::string name;
+    std::string cat;
+    std::uint64_t calls = 0;
+    double total_s = 0.0;
+    double self_s = 0.0;
+    double mips = 0.0;
+};
+
+std::vector<FlatSpan>
+flatSpans(const JsonValue &profile)
+{
+    std::vector<FlatSpan> out;
+    const JsonValue *flat = profile.get("flat");
+    if (!flat || !flat->isObject())
+        return out;
+    for (const auto &[name, f] : flat->object) {
+        FlatSpan s;
+        s.name = name;
+        if (const JsonValue *cat = f.get("cat"))
+            s.cat = cat->string;
+        s.calls = static_cast<std::uint64_t>(numberAt(f, "calls"));
+        s.total_s = numberAt(f, "total_seconds");
+        s.self_s = numberAt(f, "self_seconds");
+        s.mips = numberAt(f, "mips");
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+/** The call tree as parent -> children, children ordered by total. */
+void
+renderTreeNode(util::Table &t, const JsonValue &tree,
+               const std::string &name, std::size_t depth,
+               std::vector<std::string> &path)
+{
+    // Span names recur only through real recursion; cap the render so
+    // a self-edge cannot loop the printer.
+    if (depth > 8)
+        return;
+    for (const std::string &seen : path)
+        if (seen == name)
+            return;
+    path.push_back(name);
+    std::vector<const JsonValue *> children;
+    for (const JsonValue &edge : tree.array) {
+        const JsonValue *parent = edge.get("parent");
+        if (parent && parent->string == name)
+            children.push_back(&edge);
+    }
+    std::sort(children.begin(), children.end(),
+              [](const JsonValue *a, const JsonValue *b) {
+                  return numberAt(*a, "total_seconds") >
+                         numberAt(*b, "total_seconds");
+              });
+    for (const JsonValue *edge : children) {
+        const JsonValue *child = edge->get("name");
+        if (!child)
+            continue;
+        t.addRow({std::string(2 * (depth + 1), ' ') + child->string,
+                  util::Table::fmtCount(static_cast<std::uint64_t>(
+                      numberAt(*edge, "calls"))),
+                  fmtNum(numberAt(*edge, "total_seconds")),
+                  fmtNum(numberAt(*edge, "self_seconds"))});
+        renderTreeNode(t, tree, child->string, depth + 1, path);
+    }
+    path.pop_back();
+}
+
+} // anonymous namespace
+
+void
+renderProfile(std::ostream &os, const LoadedReport &report,
+              std::size_t top_n)
+{
+    const JsonValue *p = profileSection(report);
+    if (!p) {
+        os << "(no profile section; run with --profile)\n";
+        return;
+    }
+
+    const double wall = numberAt(*p, "wall_seconds");
+    const double overhead_s = numberAt(*p, "overhead_seconds");
+    const std::uint64_t recorded =
+        static_cast<std::uint64_t>(numberAt(*p, "spans_recorded"));
+    const std::uint64_t dropped =
+        static_cast<std::uint64_t>(numberAt(*p, "spans_dropped"));
+    os << "profile: " << util::Table::fmtCount(recorded)
+       << " spans, wall " << fmtNum(wall) << " s, overhead "
+       << fmtNum(numberAt(*p, "overhead_ns_per_span"))
+       << " ns/span (" << fmtPercentOfWall(overhead_s, wall)
+       << " of wall)\n";
+    if (dropped > 0)
+        os << "  ** TRUNCATED: " << util::Table::fmtCount(dropped)
+           << " spans dropped by ring wrap; totals undercount **\n";
+
+    if (const JsonValue *threads = p->get("threads")) {
+        os << "  threads:";
+        for (const JsonValue &th : threads->array) {
+            const JsonValue *name = th.get("name");
+            os << " " << (name ? name->string : "?") << "("
+               << util::Table::fmtCount(static_cast<std::uint64_t>(
+                      numberAt(th, "recorded")))
+               << ")";
+        }
+        os << "\n";
+    }
+
+    if (const JsonValue *cats = p->get("categories")) {
+        util::Table t("by category");
+        t.setHeader({"category", "self s", "of wall", "ops"});
+        for (const auto &[cat, c] : cats->object) {
+            const double self_s = numberAt(c, "self_seconds");
+            if (self_s == 0.0 && numberAt(c, "ops") == 0.0)
+                continue;
+            t.addRow({cat, fmtNum(self_s),
+                      fmtPercentOfWall(self_s, wall),
+                      util::Table::fmtCount(static_cast<std::uint64_t>(
+                          numberAt(c, "ops")))});
+        }
+        if (t.rowCount())
+            t.print(os);
+    }
+
+    std::vector<FlatSpan> spans = flatSpans(*p);
+    std::sort(spans.begin(), spans.end(),
+              [](const FlatSpan &a, const FlatSpan &b) {
+                  return a.self_s > b.self_s;
+              });
+    util::Table t("top spans by self time");
+    t.setHeader({"span", "cat", "calls", "total s", "self s",
+                 "of wall", "mips"});
+    for (std::size_t i = 0; i < spans.size() && i < top_n; ++i) {
+        const FlatSpan &s = spans[i];
+        t.addRow({s.name, s.cat, util::Table::fmtCount(s.calls),
+                  fmtNum(s.total_s), fmtNum(s.self_s),
+                  fmtPercentOfWall(s.self_s, wall),
+                  s.mips > 0.0 ? fmtNum(s.mips) : ""});
+    }
+    if (t.rowCount())
+        t.print(os);
+    if (spans.size() > top_n)
+        os << "  (" << spans.size() - top_n
+           << " further spans; --top=N to widen)\n";
+
+    const JsonValue *tree = p->get("tree");
+    if (tree && tree->isArray() && !tree->array.empty()) {
+        util::Table tt("call tree");
+        tt.setHeader({"span", "calls", "total s", "self s"});
+        std::vector<std::string> path;
+        renderTreeNode(tt, *tree, "", 0, path);
+        tt.print(os);
+    }
+}
+
+void
+renderProfileDiff(std::ostream &os, const LoadedReport &a,
+                  const LoadedReport &b)
+{
+    os << "A: " << a.program << "  (" << a.path << ")\n";
+    os << "B: " << b.program << "  (" << b.path << ")\n\n";
+
+    const JsonValue *pa = profileSection(a);
+    const JsonValue *pb = profileSection(b);
+    if (!pa || !pb) {
+        os << "(both reports need a profile section; run with "
+              "--profile)\n";
+        return;
+    }
+
+    struct Pair
+    {
+        const FlatSpan *a = nullptr;
+        const FlatSpan *b = nullptr;
+    };
+    const std::vector<FlatSpan> sa = flatSpans(*pa);
+    const std::vector<FlatSpan> sb = flatSpans(*pb);
+    std::vector<std::pair<std::string, Pair>> merged;
+    auto slot = [&merged](const std::string &name) -> Pair & {
+        for (auto &[n, pair] : merged)
+            if (n == name)
+                return pair;
+        merged.emplace_back(name, Pair{});
+        return merged.back().second;
+    };
+    for (const FlatSpan &s : sa)
+        slot(s.name).a = &s;
+    for (const FlatSpan &s : sb)
+        slot(s.name).b = &s;
+    std::sort(merged.begin(), merged.end(),
+              [](const auto &x, const auto &y) {
+                  auto key = [](const Pair &p) {
+                      return std::max(p.a ? p.a->self_s : 0.0,
+                                      p.b ? p.b->self_s : 0.0);
+                  };
+                  return key(x.second) > key(y.second);
+              });
+
+    util::Table t("span self time, A vs B");
+    t.setHeader({"span", "A self s", "B self s", "delta", "A calls",
+                 "B calls"});
+    for (const auto &[name, pair] : merged) {
+        std::string delta = "n/a";
+        if (pair.a && pair.b) {
+            const DiffRow row{name, pair.a->self_s, pair.b->self_s};
+            const double pct = row.percent();
+            if (!std::isnan(pct)) {
+                char buf[40];
+                std::snprintf(buf, sizeof(buf), "%+.2f%%", pct);
+                delta = buf;
+            }
+        } else {
+            delta = pair.a ? "only A" : "only B";
+        }
+        t.addRow({name, pair.a ? fmtNum(pair.a->self_s) : "",
+                  pair.b ? fmtNum(pair.b->self_s) : "", delta,
+                  pair.a ? util::Table::fmtCount(pair.a->calls) : "",
+                  pair.b ? util::Table::fmtCount(pair.b->calls) : ""});
+    }
+    t.print(os);
 }
 
 double
@@ -439,6 +696,53 @@ checkReport(const LoadedReport &report)
     for (const auto &[path, v] : report.values)
         if (std::isnan(v))
             res.warnings.push_back("non-finite value at " + path);
+
+    if (const JsonValue *p = doc.get("profile")) {
+        if (!p->isObject()) {
+            res.violations.push_back("'profile' is not an object");
+        } else {
+            const JsonValue *pv = p->get("schema_version");
+            if (!pv || pv->asUint() < 1)
+                res.violations.push_back(
+                    "profile: missing schema_version");
+            // Self time is total minus children: a flat row where
+            // self exceeds total means the stack accounting broke.
+            if (const JsonValue *flat = p->get("flat"))
+                for (const auto &[name, f] : flat->object)
+                    if (numberAt(f, "self_seconds") >
+                        numberAt(f, "total_seconds") + 1e-9)
+                        res.violations.push_back(
+                            "profile.flat." + name +
+                            ": self_seconds exceeds total_seconds");
+            std::uint64_t thread_recorded = 0;
+            if (const JsonValue *threads = p->get("threads"))
+                for (const JsonValue &th : threads->array)
+                    thread_recorded += static_cast<std::uint64_t>(
+                        numberAt(th, "recorded"));
+            const std::uint64_t recorded =
+                static_cast<std::uint64_t>(
+                    numberAt(*p, "spans_recorded"));
+            if (thread_recorded != recorded)
+                res.violations.push_back(
+                    "profile: per-thread recorded sum " +
+                    std::to_string(thread_recorded) +
+                    " != spans_recorded " + std::to_string(recorded));
+            const std::uint64_t dropped = static_cast<std::uint64_t>(
+                numberAt(*p, "spans_dropped"));
+            if (dropped > 0)
+                res.warnings.push_back(
+                    "profile truncated: " + std::to_string(dropped) +
+                    " spans dropped by ring wrap");
+            const double wall = numberAt(*p, "wall_seconds");
+            const double overhead =
+                numberAt(*p, "overhead_seconds");
+            if (wall > 0.0 && overhead > 0.02 * wall)
+                res.warnings.push_back(
+                    "profile: instrumentation overhead " +
+                    fmtNum(overhead / wall * 100.0) +
+                    "% of wall exceeds the 2% budget");
+        }
+    }
 
     const JsonValue *tl = doc.get("timelines");
     if (!tl)
@@ -604,6 +908,85 @@ checkTrace(std::istream &in)
         res.warnings.push_back(
             "no eof accounting line: run was interrupted or the "
             "sink was not destroyed");
+    return res;
+}
+
+std::string
+benchSnapshotFromReport(const LoadedReport &report,
+                        const std::string &label)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "pgss-bench-snapshot");
+    w.field("schema_version", std::uint64_t{1});
+    w.field("label", label);
+    w.field("program", report.program);
+    // Numeric meta travels along (workload_scale matters: MIPS at
+    // scale 0.05 and scale 1.0 are comparable, op counts are not).
+    w.beginObject("meta");
+    for (const auto &[path, v] : report.values)
+        if (path.rfind("meta.", 0) == 0 && std::isfinite(v))
+            w.field(path.substr(5), v);
+    w.endObject();
+    // The whole perf section verbatim: snapshots reload through
+    // loadReport(), so paths like "perf.detailed_measure.mips" line
+    // up exactly with a live report's for the gate and for diffs.
+    w.beginObject("perf");
+    const JsonValue *perf = report.doc.get("perf");
+    if (perf && perf->isObject()) {
+        for (const auto &[mode, h] : perf->object) {
+            w.beginObject(mode);
+            for (const auto &[key, v] : h.object)
+                if (v.isNumber())
+                    w.field(key, v.number);
+            w.endObject();
+        }
+    }
+    w.endObject();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+CheckResult
+checkAgainstBaseline(const LoadedReport &report,
+                     const LoadedReport &baseline, double tolerance)
+{
+    CheckResult res;
+    auto fmtPair = [](double cur, double base) {
+        char buf[80];
+        std::snprintf(buf, sizeof(buf), "%.6g vs baseline %.6g",
+                      cur, base);
+        return std::string(buf);
+    };
+    std::size_t compared = 0;
+    for (const auto &[path, base] : baseline.values) {
+        // Gate on throughput rates only: MIPS is (near) invariant in
+        // workload scale, absolute ops/seconds are not.
+        if (path.rfind("perf.", 0) != 0 || path.size() < 5 ||
+            path.compare(path.size() - 5, 5, ".mips") != 0)
+            continue;
+        if (!std::isfinite(base) || base <= 0.0)
+            continue;
+        const double cur = report.value(path);
+        if (std::isnan(cur)) {
+            res.warnings.push_back(path +
+                                   ": in baseline but not in report");
+            continue;
+        }
+        ++compared;
+        if (cur < base * (1.0 - tolerance))
+            res.violations.push_back(
+                path + ": regression, " + fmtPair(cur, base) +
+                " (tolerance " + fmtNum(tolerance * 100.0) + "%)");
+        else if (cur > base * (1.0 + tolerance))
+            res.warnings.push_back(
+                path + ": improved, " + fmtPair(cur, base) +
+                " — consider refreshing the baseline");
+    }
+    if (compared == 0)
+        res.violations.push_back(
+            "baseline has no perf.*.mips paths comparable with this "
+            "report");
     return res;
 }
 

@@ -5,15 +5,23 @@
  * optionally a trace JSONL stream) and provides:
  *
  *  - loadReport(): parse + flatten every numeric leaf ("perf.*",
- *    "stats.*", numeric "meta.*") to its dotted path
+ *    "stats.*", "profile.*", numeric "meta.*") to its dotted path
  *  - renderReport(): aligned text tables plus ASCII phase timelines
  *    and per-phase CI-convergence curves from the "timelines" section
+ *  - renderProfile()/renderProfileDiff(): the span-profiling
+ *    "profile" section as category/flat/call-tree tables, and A-vs-B
+ *    per-span self-time deltas
  *  - renderDiff()/diffReports(): A-vs-B comparison with percent
  *    deltas for every shared numeric path
  *  - checkReport()/checkTrace(): sanity checks — schema fields,
  *    monotonic axes, balanced sample open/close, trace eof
  *    accounting (lines == emitted - dropped) — the `pgss_report
  *    check` CI gate
+ *  - benchSnapshotFromReport()/checkAgainstBaseline(): the perf
+ *    history — distil a run report into a pgss-bench-snapshot
+ *    document (BENCH_pr<N>.json) and gate a fresh report's
+ *    perf.<mode>.mips against a committed baseline with a relative
+ *    tolerance
  *
  * Kept in src/obs (not tools/) so the logic is unit-testable against
  * the golden reports in tests/data/.
@@ -71,6 +79,24 @@ void renderReport(std::ostream &os, const LoadedReport &report);
 /** Render just the "timelines" section (no-op when absent). */
 void renderTimelines(std::ostream &os, const LoadedReport &report);
 
+/**
+ * Render the span-profiling "profile" section: the summary line
+ * (spans recorded/dropped, wall clock, measured per-span overhead),
+ * the per-category self-time table, the flat top-@p top_n spans by
+ * self time, and the indented call tree. Prints a pointer at
+ * --profile when the section is absent.
+ */
+void renderProfile(std::ostream &os, const LoadedReport &report,
+                   std::size_t top_n = 20);
+
+/**
+ * A-vs-B per-span comparison over the two reports' "profile.flat"
+ * tables: self seconds and call counts with percent deltas, ordered
+ * by max(self A, self B).
+ */
+void renderProfileDiff(std::ostream &os, const LoadedReport &a,
+                       const LoadedReport &b);
+
 /** One A-vs-B comparison row. */
 struct DiffRow
 {
@@ -120,6 +146,30 @@ CheckResult checkReport(const LoadedReport &report);
  * interrupted run — is a warning.
  */
 CheckResult checkTrace(std::istream &in);
+
+/**
+ * Distil @p report into a pgss-bench-snapshot JSON document: schema
+ * identity, @p label (e.g. "pr4"), the program, numeric meta, and the
+ * whole "perf" section (per-mode calls/ops/seconds/mips). Snapshots
+ * are small enough to commit (BENCH_pr<N>.json at the repo root) and
+ * loadReport() reads them back, so the same dotted perf paths line up
+ * between a snapshot and a live report.
+ */
+std::string benchSnapshotFromReport(const LoadedReport &report,
+                                    const std::string &label);
+
+/**
+ * The perf-history regression gate: compare every finite positive
+ * "perf.*.mips" path of @p baseline (a bench snapshot or a full run
+ * report) against @p report. A path whose current throughput is below
+ * baseline * (1 - tolerance) is a violation; one above
+ * baseline * (1 + tolerance) is a warning suggesting a baseline
+ * refresh; a baseline path missing from the report is a warning. A
+ * baseline with no comparable paths is itself a violation.
+ */
+CheckResult checkAgainstBaseline(const LoadedReport &report,
+                                 const LoadedReport &baseline,
+                                 double tolerance);
 
 } // namespace pgss::obs
 

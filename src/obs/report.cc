@@ -11,6 +11,7 @@
 
 #include "obs/json.hh"
 #include "obs/perf.hh"
+#include "obs/spans.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "util/env.hh"
@@ -27,6 +28,7 @@ struct ReportState
     std::string program = "unknown";
     std::string stats_json_path;
     std::string timeline_csv_path;
+    std::string profile_out_path;
     bool partial = false; ///< report written by the abnormal-exit path
     std::vector<std::pair<std::string, std::string>> meta_str;
     std::vector<std::pair<std::string, double>> meta_num;
@@ -76,6 +78,28 @@ writeReportFile()
 }
 
 bool
+writeProfileTrace()
+{
+    const std::string &path = state().profile_out_path;
+    if (path.empty())
+        return true;
+    const SpanProfiler *prof = spanProfiler();
+    if (!prof) {
+        util::warn("report: --profile-out set but no span profiler");
+        return false;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        util::warn("report: cannot write '%s'", path.c_str());
+        return false;
+    }
+    prof->writeTraceEventJson(out);
+    util::inform("report: wrote %s%s", path.c_str(),
+                 state().partial ? " (partial)" : "");
+    return true;
+}
+
+bool
 writeTimelineCsv()
 {
     const std::string &path = state().timeline_csv_path;
@@ -114,8 +138,14 @@ emergencyFlush(const char *why)
     setReportMeta("exit_reason", std::string(why));
     if (TraceSink *t = traceSink())
         t->flush();
+    // The span rings drain too: the report's "profile" section and
+    // the Perfetto trace are written from whatever each thread had
+    // recorded (wrapped rings carry their truncation markers). The
+    // reads are best-effort — workers may still be running — which
+    // is the same trade the rest of this path accepts.
     writeReportFile();
     writeTimelineCsv();
+    writeProfileTrace();
 }
 
 extern "C" void
@@ -166,8 +196,10 @@ parseObsFlags(int &argc, char **argv)
     flags.stats_json = util::envString("PGSS_STATS_JSON", "");
     flags.trace_out = util::envString("PGSS_TRACE_OUT", "");
     flags.timeline_out = util::envString("PGSS_TIMELINE_OUT", "");
+    flags.profile_out = util::envString("PGSS_PROFILE_OUT", "");
     flags.timelines =
         util::envString("PGSS_TIMELINES", "") == "1";
+    flags.profile = util::envString("PGSS_PROFILE", "") == "1";
     flags.timeline_interval = static_cast<std::uint64_t>(
         util::envDouble("PGSS_TIMELINE_INTERVAL", 0.0));
 
@@ -183,8 +215,13 @@ parseObsFlags(int &argc, char **argv)
         } else if (const char *v4 =
                        flagValue(argv[i], "--timeline-interval")) {
             flags.timeline_interval = std::strtoull(v4, nullptr, 10);
+        } else if (const char *v5 =
+                       flagValue(argv[i], "--profile-out")) {
+            flags.profile_out = v5;
         } else if (std::strcmp(argv[i], "--timelines") == 0) {
             flags.timelines = true;
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            flags.profile = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -194,6 +231,8 @@ parseObsFlags(int &argc, char **argv)
 
     if (!flags.timeline_out.empty() || flags.timeline_interval > 0)
         flags.timelines = true;
+    if (!flags.profile_out.empty())
+        flags.profile = true;
     return flags;
 }
 
@@ -202,6 +241,7 @@ applyObsFlags(const ObsFlags &flags)
 {
     state().stats_json_path = flags.stats_json;
     state().timeline_csv_path = flags.timeline_out;
+    state().profile_out_path = flags.profile_out;
     if (!flags.trace_out.empty())
         setTraceSink(std::make_unique<TraceSink>(flags.trace_out));
     if (flags.timelines) {
@@ -211,6 +251,8 @@ applyObsFlags(const ObsFlags &flags)
         setTimelineRecorder(
             std::make_unique<TimelineRecorder>(cfg));
     }
+    if (flags.profile)
+        setSpanProfiler(std::make_unique<SpanProfiler>());
 }
 
 void
@@ -264,6 +306,8 @@ reportJsonString()
     w.endObject();
     perf().dumpJson(w);
     registry().dumpJson(w);
+    if (const SpanProfiler *prof = spanProfiler())
+        prof->dumpProfileJson(w);
     if (const TimelineRecorder *rec = timelines())
         rec->dumpJson(w);
     w.endObject();
@@ -279,7 +323,8 @@ finalize()
 
     const bool report_ok = writeReportFile();
     const bool csv_ok = writeTimelineCsv();
-    return report_ok && csv_ok;
+    const bool prof_ok = writeProfileTrace();
+    return report_ok && csv_ok && prof_ok;
 }
 
 const std::string &
@@ -292,6 +337,12 @@ const std::string &
 timelineCsvPath()
 {
     return state().timeline_csv_path;
+}
+
+const std::string &
+profileOutPath()
+{
+    return state().profile_out_path;
 }
 
 } // namespace pgss::obs

@@ -13,6 +13,8 @@
  *   - "stats": the global StatsRegistry tree
  *   - "timelines": time-series section (only when timelines are on;
  *     see obs/timeline.hh and DESIGN.md section 8.5)
+ *   - "profile": span-profiler section (only when profiling is on;
+ *     see obs/spans.hh and DESIGN.md section 11)
  *
  * Flags (also honoured as environment variables):
  *   --stats-json=<path>        (PGSS_STATS_JSON)        write the
@@ -26,6 +28,12 @@
  *                              the given stride
  *   --timeline-out=<path>      (PGSS_TIMELINE_OUT)      enable it and
  *                              also write the timelines as CSV
+ *   --profile                  (PGSS_PROFILE=1)         enable the
+ *                              span profiler; adds the "profile"
+ *                              report section
+ *   --profile-out=<path>       (PGSS_PROFILE_OUT)       enable it and
+ *                              also write a Chrome/Perfetto
+ *                              trace_event JSON (ui.perfetto.dev)
  *
  * All flag stripping lives in parseObsFlags() so the bench and
  * example binaries share one implementation. initFromCli() strips the
@@ -59,8 +67,11 @@ struct ObsFlags
     std::string stats_json;   ///< run-report path ("" = off)
     std::string trace_out;    ///< trace JSONL path ("" = off)
     std::string timeline_out; ///< timeline CSV path ("" = no CSV)
+    std::string profile_out;  ///< trace_event JSON path ("" = none)
     bool timelines = false;   ///< record timelines (implied by the
                               ///< other timeline flags)
+    bool profile = false;     ///< record spans (implied by
+                              ///< profile_out)
     std::uint64_t timeline_interval = 0; ///< snapshot stride (0 = default)
 };
 
@@ -107,6 +118,9 @@ const std::string &statsJsonPath();
 
 /** Path the timeline CSV will be written to ("" when not requested). */
 const std::string &timelineCsvPath();
+
+/** Path the Perfetto trace will be written to ("" when not requested). */
+const std::string &profileOutPath();
 
 } // namespace pgss::obs
 

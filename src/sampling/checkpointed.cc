@@ -1,5 +1,7 @@
 #include "sampling/checkpointed.hh"
 
+#include "obs/spans.hh"
+
 namespace pgss::sampling
 {
 
@@ -11,6 +13,7 @@ measureWindowsViaLibrary(const isa::Program &program,
                          std::uint64_t detailed_warmup,
                          std::uint64_t detailed_sample)
 {
+    PGSS_SPAN("sampling.checkpointed_windows", Bench);
     CheckpointedMeasurement out;
     sim::SimulationEngine engine(program, config);
 

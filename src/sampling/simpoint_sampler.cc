@@ -1,5 +1,6 @@
 #include "sampling/simpoint_sampler.hh"
 
+#include "obs/spans.hh"
 #include "util/logging.hh"
 
 namespace pgss::sampling
@@ -11,6 +12,7 @@ collectIntervalBbvs(const isa::Program &program,
                     std::uint64_t interval_ops,
                     std::uint64_t &functional_ops)
 {
+    PGSS_SPAN("sampling.collect_bbvs", Bench);
     sim::SimulationEngine engine(program, engine_config);
     engine.setFullBbvEnabled(true);
     std::vector<bbv::SparseBbv> interval_bbvs;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/spans.hh"
 #include "obs/timeline.hh"
 #include "stats/confidence.hh"
 #include "stats/running_stats.hh"
@@ -12,6 +13,7 @@ namespace pgss::sampling
 SmartsRun
 runSmarts(sim::SimulationEngine &engine, const SmartsConfig &config)
 {
+    PGSS_SPAN("sampling.smarts", Bench);
     SmartsRun run;
     run.result.technique = "SMARTS";
 

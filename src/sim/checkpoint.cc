@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/main_memory.hh"
+#include "obs/spans.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
 
@@ -53,6 +54,7 @@ getCacheState(util::BinaryReader &r)
 void
 Checkpoint::applyDelta(Checkpoint &base, const Checkpoint &delta)
 {
+    PGSS_SPAN("checkpoint.apply_delta", Checkpoint);
     util::panicIf(base.mem_delta_,
                   "applyDelta: base must be a full checkpoint");
     util::panicIf(!delta.mem_delta_,

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "obs/spans.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
 
@@ -193,6 +194,7 @@ CheckpointLibrary::open(const isa::Program &program,
 Checkpoint
 CheckpointLibrary::loadFile(std::size_t index) const
 {
+    PGSS_SPAN("checkpoint.load_file", Io);
     std::ifstream in(checkpointPath(positions_[index]),
                      std::ios::binary);
     std::vector<std::uint8_t> bytes(
@@ -225,6 +227,7 @@ SeekResult
 CheckpointLibrary::seekTo(SimulationEngine &engine,
                           std::uint64_t target_op) const
 {
+    PGSS_SPAN("checkpoint.seek", Checkpoint);
     util::panicIf(engine.totalOps() > target_op &&
                       positions_.empty(),
                   "cannot seek backwards without checkpoints");

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/perf.hh"
+#include "obs/spans.hh"
 #include "obs/stats.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
@@ -43,6 +44,28 @@ modeStatName(SimMode mode)
     }
     return "unknown";
 }
+
+namespace
+{
+
+/** Span name per mode (static storage; records keep the pointer). */
+const char *
+modeSpanName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::FunctionalFast:
+        return "engine.functional_fast";
+      case SimMode::FunctionalWarm:
+        return "engine.functional_warm";
+      case SimMode::DetailedWarm:
+        return "engine.detailed_warm";
+      case SimMode::DetailedMeasure:
+        return "engine.detailed_measure";
+    }
+    return "engine.unknown";
+}
+
+} // anonymous namespace
 
 SimulationEngine::SimulationEngine(const isa::Program &program,
                                    const EngineConfig &config)
@@ -181,6 +204,13 @@ SimulationEngine::run(std::uint64_t n, SimMode mode)
     const std::uint64_t cycles_before = pipeline_->cycles();
     const double wall_before = obs::wallSeconds();
 
+    // One span per run() chunk (>= a sample window of work, never
+    // per instruction): the causal per-thread view the Perfetto
+    // export and the "profile" report section are built from.
+    obs::ScopedSpan span(modeSpanName(mode),
+                         detailed ? obs::SpanCat::Detailed
+                                  : obs::SpanCat::Ff);
+
     std::uint64_t done = 0;
     switch (mode) {
       case SimMode::FunctionalFast:
@@ -203,6 +233,7 @@ SimulationEngine::run(std::uint64_t n, SimMode mode)
         break;
     }
 
+    span.addOps(done);
     mode_perf_[static_cast<int>(mode)]->add(
         done, obs::wallSeconds() - wall_before);
 
@@ -313,6 +344,7 @@ SimulationEngine::registerStats(obs::Group &parent) const
 Checkpoint
 SimulationEngine::checkpoint() const
 {
+    PGSS_SPAN("checkpoint.save_full", Checkpoint);
     Checkpoint c;
     c.regs_ = core_->regs();
     c.pc_ = core_->pc();
@@ -333,6 +365,7 @@ SimulationEngine::checkpoint() const
 Checkpoint
 SimulationEngine::checkpointDelta() const
 {
+    PGSS_SPAN("checkpoint.save_delta", Checkpoint);
     Checkpoint c;
     c.regs_ = core_->regs();
     c.pc_ = core_->pc();
@@ -363,6 +396,7 @@ SimulationEngine::checkpointDelta() const
 void
 SimulationEngine::restore(const Checkpoint &ckpt)
 {
+    PGSS_SPAN("checkpoint.restore", Checkpoint);
     util::panicIf(ckpt.mem_delta_,
                   "cannot restore a delta checkpoint directly; "
                   "resolve it with Checkpoint::applyDelta first");

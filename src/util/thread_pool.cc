@@ -6,13 +6,35 @@
 namespace pgss::util
 {
 
+namespace
+{
+
+thread_local std::string t_thread_name = "main";
+
+} // anonymous namespace
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    t_thread_name = name;
+}
+
+const std::string &
+currentThreadName()
+{
+    return t_thread_name;
+}
+
 ThreadPool::ThreadPool(std::size_t workers)
 {
     if (workers == 0)
         workers = 1;
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            setCurrentThreadName("pool-" + std::to_string(i));
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()

@@ -21,11 +21,23 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace pgss::util
 {
+
+/**
+ * Name the calling thread for diagnostics (span profiler tracks,
+ * log prefixes). ThreadPool names its workers "pool-<i>"; the
+ * initial thread defaults to "main". Names are thread-local and
+ * carry no synchronization cost for readers on the same thread.
+ */
+void setCurrentThreadName(const std::string &name);
+
+/** The calling thread's name ("main" when never set). */
+const std::string &currentThreadName();
 
 /** Fixed set of workers draining one task queue. */
 class ThreadPool

@@ -6,6 +6,7 @@
  */
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -254,4 +255,180 @@ TEST(ObsAnalyzeTrace, RingDropsAreAccountedAndWarned)
     ASSERT_FALSE(res.warnings.empty());
     EXPECT_NE(res.warnings[0].find("3 events dropped"),
               std::string::npos);
+}
+
+TEST(ObsAnalyzeProfile, FlattensProfilePathsAndPassesChecks)
+{
+    const LoadedReport a = loadGolden("golden_profile_a.json");
+    EXPECT_DOUBLE_EQ(a.value("profile.wall_seconds"), 2.0);
+    EXPECT_DOUBLE_EQ(a.value("profile.spans_recorded"), 34.0);
+    EXPECT_DOUBLE_EQ(
+        a.value("profile.categories.ff.self_seconds"), 1.5);
+    EXPECT_DOUBLE_EQ(
+        a.value("profile.flat.bench.entry.self_seconds"), 0.1);
+
+    const CheckResult res = pgss::obs::checkReport(a);
+    EXPECT_TRUE(res.ok()) << (res.violations.empty()
+                                  ? ""
+                                  : res.violations[0]);
+}
+
+TEST(ObsAnalyzeProfile, RenderShowsCategoriesFlatAndTree)
+{
+    const LoadedReport a = loadGolden("golden_profile_a.json");
+    std::ostringstream os;
+    pgss::obs::renderProfile(os, a, 20);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("34 spans"), std::string::npos);
+    EXPECT_NE(out.find("by category"), std::string::npos);
+    EXPECT_NE(out.find("top spans by self time"), std::string::npos);
+    EXPECT_NE(out.find("engine.functional_fast"), std::string::npos);
+    EXPECT_NE(out.find("call tree"), std::string::npos);
+    // The tree indents children under bench.entry.
+    EXPECT_NE(out.find("    engine.functional_fast"),
+              std::string::npos);
+    // renderReport embeds the same section automatically.
+    std::ostringstream full;
+    pgss::obs::renderReport(full, a);
+    EXPECT_NE(full.str().find("top spans by self time"),
+              std::string::npos);
+}
+
+TEST(ObsAnalyzeProfile, TopNTruncatesFlatTable)
+{
+    const LoadedReport a = loadGolden("golden_profile_a.json");
+    std::ostringstream os;
+    pgss::obs::renderProfile(os, a, 1);
+    // Highest self time survives; the rest is elided with a note.
+    EXPECT_NE(os.str().find("engine.functional_fast"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("2 further spans"), std::string::npos);
+}
+
+TEST(ObsAnalyzeProfile, DiffMatchesGoldenText)
+{
+    LoadedReport a = loadGolden("golden_profile_a.json");
+    LoadedReport b = loadGolden("golden_profile_b.json");
+    // The golden was rendered with bare filenames; the header echoes
+    // report.path, so pin it machine-independently.
+    a.path = "golden_profile_a.json";
+    b.path = "golden_profile_b.json";
+    std::ostringstream os;
+    pgss::obs::renderProfileDiff(os, a, b);
+
+    std::ifstream golden(goldenPath("golden_profile_diff.txt"));
+    ASSERT_TRUE(golden.is_open());
+    std::ostringstream want;
+    want << golden.rdbuf();
+    EXPECT_EQ(os.str(), want.str());
+}
+
+TEST(ObsAnalyzeProfile, ChecksCatchBrokenAccounting)
+{
+    LoadedReport r;
+    std::string err;
+    // self > total in a flat row, thread sum mismatching the global
+    // recorded count, and dropped spans (a warning).
+    ASSERT_TRUE(pgss::obs::loadReportFromString(
+        "{\"schema\":\"pgss-run-report\",\"schema_version\":1,"
+        "\"program\":\"x\",\"perf\":{},\"stats\":{},"
+        "\"profile\":{\"schema_version\":1,\"wall_seconds\":1.0,"
+        "\"overhead_ns_per_span\":50.0,\"spans_recorded\":10,"
+        "\"spans_dropped\":2,\"truncated\":true,"
+        "\"overhead_seconds\":0.05,"
+        "\"threads\":[{\"tid\":0,\"name\":\"main\",\"recorded\":7,"
+        "\"dropped\":2,\"wrapped\":true}],"
+        "\"categories\":{},"
+        "\"flat\":{\"bad\":{\"cat\":\"other\",\"calls\":1,"
+        "\"total_seconds\":1.0,\"self_seconds\":2.0,\"ops\":0,"
+        "\"mips\":0}},\"tree\":[]}}",
+        r, &err))
+        << err;
+    const CheckResult res = pgss::obs::checkReport(r);
+    EXPECT_FALSE(res.ok());
+    EXPECT_GE(res.violations.size(), 2u); // self>total, thread sum
+    bool truncation_warned = false, overhead_warned = false;
+    for (const std::string &w : res.warnings) {
+        truncation_warned |= w.find("truncated") != std::string::npos;
+        overhead_warned |= w.find("2% budget") != std::string::npos;
+    }
+    EXPECT_TRUE(truncation_warned);
+    EXPECT_TRUE(overhead_warned); // 0.05 s of 1.0 s wall is 5%
+}
+
+TEST(ObsAnalyzeBench, SnapshotRoundTripsPerfPaths)
+{
+    const LoadedReport a = loadGolden("golden_profile_a.json");
+    const std::string doc =
+        pgss::obs::benchSnapshotFromReport(a, "pr7");
+
+    LoadedReport snap;
+    std::string err;
+    ASSERT_TRUE(pgss::obs::loadReportFromString(doc, snap, &err))
+        << err;
+    EXPECT_EQ(snap.doc.get("schema")->string, "pgss-bench-snapshot");
+    EXPECT_EQ(snap.doc.get("label")->string, "pr7");
+    // The dotted perf paths line up exactly with the live report's.
+    EXPECT_DOUBLE_EQ(snap.value("perf.mode.functional_fast.mips"),
+                     a.value("perf.mode.functional_fast.mips"));
+    EXPECT_DOUBLE_EQ(snap.value("meta.workload_scale"), 0.05);
+}
+
+TEST(ObsAnalyzeBench, BaselineGateFlagsRegressions)
+{
+    const LoadedReport a = loadGolden("golden_profile_a.json");
+    const LoadedReport b = loadGolden("golden_profile_b.json");
+
+    // B's functional_fast MIPS (200) is 20% below A's (250): inside
+    // a 25% tolerance, outside a 10% one.
+    EXPECT_TRUE(pgss::obs::checkAgainstBaseline(b, a, 0.25).ok());
+    const CheckResult tight =
+        pgss::obs::checkAgainstBaseline(b, a, 0.10);
+    ASSERT_FALSE(tight.ok());
+    EXPECT_NE(tight.violations[0].find("functional_fast"),
+              std::string::npos);
+    EXPECT_NE(tight.violations[0].find("regression"),
+              std::string::npos);
+
+    // The reverse direction improved: a warning, never a violation.
+    const CheckResult up =
+        pgss::obs::checkAgainstBaseline(a, b, 0.10);
+    EXPECT_TRUE(up.ok());
+    bool improvement = false;
+    for (const std::string &w : up.warnings)
+        improvement |=
+            w.find("refreshing the baseline") != std::string::npos;
+    EXPECT_TRUE(improvement);
+}
+
+TEST(ObsAnalyzeBench, BaselineWithNoComparablePathsFails)
+{
+    const LoadedReport a = loadGolden("golden_profile_a.json");
+    LoadedReport empty;
+    std::string err;
+    ASSERT_TRUE(pgss::obs::loadReportFromString(
+        "{\"schema\":\"pgss-bench-snapshot\",\"schema_version\":1,"
+        "\"label\":\"pr0\",\"program\":\"x\",\"perf\":{}}",
+        empty, &err))
+        << err;
+    const CheckResult res =
+        pgss::obs::checkAgainstBaseline(a, empty, 0.25);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.violations[0].find("no perf.*.mips"),
+              std::string::npos);
+
+    // A baseline mode the report lacks is a warning, not a failure.
+    LoadedReport extra;
+    ASSERT_TRUE(pgss::obs::loadReportFromString(
+        "{\"schema\":\"pgss-bench-snapshot\",\"schema_version\":1,"
+        "\"label\":\"pr0\",\"program\":\"x\",\"perf\":{"
+        "\"mode.functional_fast\":{\"mips\":250.0},"
+        "\"mode.gone\":{\"mips\":10.0}}}",
+        extra, &err))
+        << err;
+    const CheckResult res2 =
+        pgss::obs::checkAgainstBaseline(a, extra, 0.25);
+    EXPECT_TRUE(res2.ok());
+    ASSERT_FALSE(res2.warnings.empty());
+    EXPECT_NE(res2.warnings[0].find("mode.gone"), std::string::npos);
 }

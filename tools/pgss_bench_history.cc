@@ -1,0 +1,225 @@
+/**
+ * @file
+ * pgss_bench_history — the perf-history side of the observability
+ * layer (DESIGN.md section 11). Distils run reports into small
+ * committed bench snapshots (BENCH_pr<N>.json at the repo root) and
+ * reads the trajectory back:
+ *
+ *   pgss_bench_history snapshot report.json BENCH_pr5.json
+ *                                  distil perf.<mode> throughput into
+ *                                  a pgss-bench-snapshot (--label=pr5
+ *                                  overrides the label derived from
+ *                                  the output filename)
+ *   pgss_bench_history check report.json --baseline=BENCH_pr4.json
+ *                                  [--tolerance=0.25]
+ *                                  regression gate: exit 1 when any
+ *                                  perf.*.mips fell more than the
+ *                                  tolerance below the baseline
+ *   pgss_bench_history list BENCH_*.json
+ *                                  the trajectory: one row per
+ *                                  snapshot, one column per mode MIPS
+ *
+ * CI appends one snapshot per PR from the perf-smoke fig13 run; the
+ * committed baseline the gate compares against is refreshed manually
+ * when a deliberate perf change lands.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using pgss::obs::CheckResult;
+using pgss::obs::JsonValue;
+using pgss::obs::LoadedReport;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: pgss_bench_history snapshot <report.json> "
+           "<out.json> [--label=<s>]\n"
+        << "       pgss_bench_history check <report.json> "
+           "--baseline=<bench.json> [--tolerance=<frac>]\n"
+        << "       pgss_bench_history list <bench.json>...\n";
+    return 2;
+}
+
+bool
+load(const std::string &path, LoadedReport &out)
+{
+    std::string err;
+    if (pgss::obs::loadReport(path, out, &err))
+        return true;
+    std::cerr << "pgss_bench_history: " << err << "\n";
+    return false;
+}
+
+/** Pop "--name=value" from @p args into @p value; true if present. */
+bool
+takeOption(std::vector<std::string> &args, const std::string &name,
+           std::string &value)
+{
+    const std::string prefix = "--" + name + "=";
+    for (auto it = args.begin(); it != args.end(); ++it) {
+        if (it->rfind(prefix, 0) == 0) {
+            value = it->substr(prefix.size());
+            args.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** "results/BENCH_pr5.json" -> "pr5" (filename minus prefix/suffix). */
+std::string
+labelFromPath(const std::string &path)
+{
+    std::string name = path;
+    const std::size_t slash = name.find_last_of("/\\");
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (name.rfind("BENCH_", 0) == 0)
+        name = name.substr(6);
+    const std::size_t dot = name.rfind('.');
+    if (dot != std::string::npos)
+        name = name.substr(0, dot);
+    return name;
+}
+
+int
+cmdSnapshot(const std::string &report_path,
+            const std::string &out_path, std::string label)
+{
+    LoadedReport report;
+    if (!load(report_path, report))
+        return 1;
+    if (label.empty())
+        label = labelFromPath(out_path);
+    const std::string doc =
+        pgss::obs::benchSnapshotFromReport(report, label);
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << doc;
+    if (!out) {
+        std::cerr << "pgss_bench_history: cannot write '" << out_path
+                  << "'\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << " (label " << label
+              << ")\n";
+    return 0;
+}
+
+int
+cmdCheck(const std::string &report_path,
+         const std::string &baseline_path, double tolerance)
+{
+    LoadedReport report, baseline;
+    if (!load(report_path, report) || !load(baseline_path, baseline))
+        return 1;
+    const CheckResult res = pgss::obs::checkAgainstBaseline(
+        report, baseline, tolerance);
+    for (const std::string &v : res.violations)
+        std::cout << "VIOLATION baseline: " << v << "\n";
+    for (const std::string &w : res.warnings)
+        std::cout << "warning baseline: " << w << "\n";
+    if (!res.ok()) {
+        std::cout << "FAIL: " << res.violations.size()
+                  << " regression(s) vs " << baseline_path << "\n";
+        return 1;
+    }
+    std::cout << "OK vs " << baseline_path << " (tolerance "
+              << tolerance * 100.0 << "%, " << res.warnings.size()
+              << " warning(s))\n";
+    return 0;
+}
+
+int
+cmdList(const std::vector<std::string> &paths)
+{
+    std::vector<LoadedReport> snaps(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i)
+        if (!load(paths[i], snaps[i]))
+            return 1;
+
+    // Columns: every perf.<mode>.mips path seen anywhere, in first-
+    // seen (report/mode) order so the table is stable across runs.
+    std::vector<std::string> modes;
+    for (const LoadedReport &s : snaps)
+        for (const auto &[path, v] : s.values) {
+            if (path.rfind("perf.", 0) != 0 || path.size() < 5 ||
+                path.compare(path.size() - 5, 5, ".mips") != 0)
+                continue;
+            const std::string mode =
+                path.substr(5, path.size() - 10);
+            bool seen = false;
+            for (const std::string &m : modes)
+                seen = seen || m == mode;
+            if (!seen)
+                modes.push_back(mode);
+        }
+
+    pgss::util::Table t("bench trajectory (host MIPS per mode)");
+    std::vector<std::string> header = {"snapshot"};
+    header.insert(header.end(), modes.begin(), modes.end());
+    t.setHeader(header);
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        const JsonValue *label = snaps[i].doc.get("label");
+        std::vector<std::string> row = {
+            label && label->isString() ? label->string
+                                       : labelFromPath(paths[i])};
+        for (const std::string &mode : modes) {
+            const double v =
+                snaps[i].value("perf." + mode + ".mips");
+            char buf[40];
+            if (std::isnan(v))
+                row.push_back("");
+            else {
+                std::snprintf(buf, sizeof(buf), "%.1f", v);
+                row.push_back(buf);
+            }
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "-h" || args[0] == "--help")
+        return usage();
+
+    if (args[0] == "snapshot") {
+        std::string label;
+        takeOption(args, "label", label);
+        return args.size() == 3 ? cmdSnapshot(args[1], args[2], label)
+                                : usage();
+    }
+    if (args[0] == "check") {
+        std::string baseline, tolerance = "0.25";
+        takeOption(args, "baseline", baseline);
+        takeOption(args, "tolerance", tolerance);
+        if (args.size() != 2 || baseline.empty())
+            return usage();
+        return cmdCheck(args[1], baseline,
+                        std::strtod(tolerance.c_str(), nullptr));
+    }
+    if (args[0] == "list")
+        return args.size() >= 2
+                   ? cmdList({args.begin() + 1, args.end()})
+                   : usage();
+    return usage();
+}

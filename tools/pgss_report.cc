@@ -6,13 +6,21 @@
  *   pgss_report show report.json          render tables + timelines
  *   pgss_report report.json               same ("show" is the default)
  *   pgss_report diff a.json b.json        percent deltas, A vs B
+ *   pgss_report profile report.json       span profile tables
+ *                                         (--top=N widens the list)
+ *   pgss_report profile a.json b.json     per-span self-time deltas
  *   pgss_report check report.json [trace.jsonl]
  *                                         sanity checks; exit 1 on any
  *                                         violation (the CI gate)
+ *     --baseline=BENCH.json [--tolerance=0.25]
+ *                                         also gate perf.*.mips
+ *                                         against a committed bench
+ *                                         snapshot
  *
  * All output is plain text so it survives CI logs and grep.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,8 +41,28 @@ usage()
     std::cerr
         << "usage: pgss_report [show] <report.json>\n"
         << "       pgss_report diff <a.json> <b.json>\n"
-        << "       pgss_report check <report.json> [trace.jsonl]\n";
+        << "       pgss_report profile <report.json> [--top=N]\n"
+        << "       pgss_report profile <a.json> <b.json>\n"
+        << "       pgss_report check <report.json> [trace.jsonl]\n"
+        << "                   [--baseline=<bench.json>]"
+           " [--tolerance=<frac>]\n";
     return 2;
+}
+
+/** Pop "--name=value" from @p args into @p value; true if present. */
+bool
+takeOption(std::vector<std::string> &args, const std::string &name,
+           std::string &value)
+{
+    const std::string prefix = "--" + name + "=";
+    for (auto it = args.begin(); it != args.end(); ++it) {
+        if (it->rfind(prefix, 0) == 0) {
+            value = it->substr(prefix.size());
+            args.erase(it);
+            return true;
+        }
+    }
+    return false;
 }
 
 bool
@@ -78,14 +106,42 @@ cmdDiff(const std::string &path_a, const std::string &path_b)
 }
 
 int
+cmdProfile(const std::vector<std::string> &paths, std::size_t top_n)
+{
+    LoadedReport a;
+    if (!load(paths[0], a))
+        return 1;
+    if (paths.size() == 2) {
+        LoadedReport b;
+        if (!load(paths[1], b))
+            return 1;
+        pgss::obs::renderProfileDiff(std::cout, a, b);
+        return 0;
+    }
+    pgss::obs::renderProfile(std::cout, a, top_n);
+    return 0;
+}
+
+int
 cmdCheck(const std::string &report_path,
-         const std::string &trace_path)
+         const std::string &trace_path,
+         const std::string &baseline_path, double tolerance)
 {
     LoadedReport report;
     if (!load(report_path, report))
         return 1;
     CheckResult total = pgss::obs::checkReport(report);
     printCheck("report", total);
+
+    if (!baseline_path.empty()) {
+        LoadedReport baseline;
+        if (!load(baseline_path, baseline))
+            return 1;
+        const CheckResult bres = pgss::obs::checkAgainstBaseline(
+            report, baseline, tolerance);
+        printCheck("baseline", bres);
+        total.merge(bres);
+    }
 
     if (!trace_path.empty()) {
         std::ifstream trace(trace_path, std::ios::binary);
@@ -121,10 +177,24 @@ main(int argc, char **argv)
 
     if (args[0] == "diff")
         return args.size() == 3 ? cmdDiff(args[1], args[2]) : usage();
-    if (args[0] == "check") {
+    if (args[0] == "profile") {
+        std::string top = "20";
+        takeOption(args, "top", top);
         if (args.size() < 2 || args.size() > 3)
             return usage();
-        return cmdCheck(args[1], args.size() == 3 ? args[2] : "");
+        return cmdProfile({args.begin() + 1, args.end()},
+                          static_cast<std::size_t>(
+                              std::strtoul(top.c_str(), nullptr, 10)));
+    }
+    if (args[0] == "check") {
+        std::string baseline, tolerance = "0.25";
+        takeOption(args, "baseline", baseline);
+        takeOption(args, "tolerance", tolerance);
+        if (args.size() < 2 || args.size() > 3)
+            return usage();
+        return cmdCheck(args[1], args.size() == 3 ? args[2] : "",
+                        baseline,
+                        std::strtod(tolerance.c_str(), nullptr));
     }
     if (args[0] == "show")
         return args.size() == 2 ? cmdShow(args[1]) : usage();
