@@ -99,7 +99,7 @@ main(int argc, char **argv)
     const std::vector<Variant> vars = variants(bench::benchConfig());
     std::vector<std::vector<core::PgssResult>> results(
         entries.size(), std::vector<core::PgssResult>(vars.size()));
-    bench::runEntriesParallel(entries.size(), [&](std::size_t b) {
+    bench::runEntriesParallel(entries, [&](std::size_t b) {
         for (std::size_t vi = 0; vi < vars.size(); ++vi) {
             sim::SimulationEngine engine(entries[b].built.program,
                                          vars[vi].engine);

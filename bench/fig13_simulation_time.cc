@@ -175,7 +175,7 @@ main(int argc, char **argv)
     };
     const std::vector<bench::Entry> suite = bench::loadSuite();
     std::vector<EntryOps> per_entry(suite.size());
-    bench::runEntriesParallel(suite.size(), [&](std::size_t b) {
+    bench::runEntriesParallel(suite, [&](std::size_t b) {
         const bench::Entry &e = suite[b];
         EntryOps &out = per_entry[b];
         const double n =

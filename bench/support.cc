@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "analysis/profile_cache.hh"
+#include "obs/progress.hh"
 #include "obs/report.hh"
 #include "obs/spans.hh"
 #include "util/env.hh"
@@ -43,6 +44,9 @@ Entry
 loadEntry(const std::string &name)
 {
     PGSS_SPAN("bench.load_entry", Io);
+    // Ground-truth profile building is real engine work; give it a
+    // progress row so a served first run is not a silent cache fill.
+    obs::ScopedJob job("load:" + name);
     Entry e;
     e.name = name;
     const std::size_t dot = name.find('.');
@@ -86,6 +90,21 @@ runEntriesParallel(std::size_t n,
         PGSS_SPAN("bench.entry", Bench);
         body(i);
     });
+}
+
+void
+runEntriesParallel(const std::vector<Entry> &entries,
+                   const std::function<void(std::size_t)> &body)
+{
+    runEntriesParallel(
+        entries.size(), [&entries, &body](std::size_t i) {
+            // The job rides the worker thread: engine.run() chunks
+            // and controller sampling decisions inside body update it
+            // through obs::currentJob().
+            obs::ScopedJob job(entries[i].name,
+                               entries[i].profile.totalOps());
+            body(i);
+        });
 }
 
 void

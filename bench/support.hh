@@ -80,6 +80,16 @@ std::size_t benchJobs();
 void runEntriesParallel(std::size_t n,
                         const std::function<void(std::size_t)> &body);
 
+/**
+ * runEntriesParallel() over a loaded suite: additionally opens one
+ * obs progress job per entry (named by the entry, expected ops from
+ * its ground-truth profile) around @p body, so a served run
+ * (--serve=PORT) shows per-entry progress, phase, CI, and MIPS in
+ * /status and `pgss_top`.
+ */
+void runEntriesParallel(const std::vector<Entry> &entries,
+                        const std::function<void(std::size_t)> &body);
+
 /** Print the standard bench header (figure id, scale, note). */
 void printHeader(const std::string &figure, const std::string &note);
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "bbv/bbv_math.hh"
+#include "obs/progress.hh"
 #include "obs/spans.hh"
 #include "obs/stats.hh"
 #include "obs/timeline.hh"
@@ -142,6 +143,8 @@ PgssController::run(sim::SimulationEngine &engine)
                     match.angle_to_last);
         if (obs::TimelineRecorder *tl = obs::timelines())
             tl->recordPhase(engine.totalOps(), match.phase_id);
+        if (obs::JobHandle *job = obs::currentJob())
+            job->setPhase(match.phase_id, table.size());
 
         // The sample inside this period is credited to the phase the
         // period was classified as.
@@ -166,16 +169,17 @@ PgssController::run(sim::SimulationEngine &engine)
         // One convergence-curve point per credited sample: the curve
         // of this phase's CI half-width closing (or not) over time.
         if (have_sample) {
-            if (obs::TimelineRecorder *tl = obs::timelines()) {
-                const double mean = phase.cpi().mean();
-                const double hw = stats::ciHalfWidth(
-                    phase.cpi(), config_.confidence);
+            const double mean = phase.cpi().mean();
+            const double hw = stats::ciHalfWidth(
+                phase.cpi(), config_.confidence);
+            const double ci_rel =
+                mean != 0.0 ? hw / std::abs(mean) : hw;
+            if (obs::TimelineRecorder *tl = obs::timelines())
                 tl->recordConvergence(
                     phase.id(), engine.totalOps(),
-                    phase.sampleCount(), mean,
-                    mean != 0.0 ? hw / std::abs(mean) : hw,
-                    converged);
-            }
+                    phase.sampleCount(), mean, ci_rel, converged);
+            if (obs::JobHandle *job = obs::currentJob())
+                job->addSample(ci_rel);
         }
         const bool spaced =
             !config_.spread_samples ||

@@ -12,6 +12,7 @@
 #include "obs/json.hh"
 #include "obs/perf.hh"
 #include "obs/spans.hh"
+#include "obs/telemetry.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "util/env.hh"
@@ -134,6 +135,12 @@ emergencyFlush(const char *why)
 {
     if (g_finalized.exchange(true))
         return;
+    // The telemetry server stops first: the port is released (and
+    // immediately rebindable) before any report writing starts, and
+    // no scrape can observe the registry mid-flush. Joining threads
+    // here is as async-signal-unsafe as the rest of this path — same
+    // accepted trade.
+    stopTelemetry();
     state().partial = true;
     setReportMeta("exit_reason", std::string(why));
     if (TraceSink *t = traceSink())
@@ -202,6 +209,13 @@ parseObsFlags(int &argc, char **argv)
     flags.profile = util::envString("PGSS_PROFILE", "") == "1";
     flags.timeline_interval = static_cast<std::uint64_t>(
         util::envDouble("PGSS_TIMELINE_INTERVAL", 0.0));
+    const std::string serve_env =
+        util::envString("PGSS_SERVE_PORT", "");
+    if (!serve_env.empty()) {
+        flags.serve = true;
+        flags.serve_port = static_cast<std::uint16_t>(
+            std::strtoul(serve_env.c_str(), nullptr, 10));
+    }
 
     int out = 1;
     for (int i = 1; i < argc; ++i) {
@@ -218,6 +232,10 @@ parseObsFlags(int &argc, char **argv)
         } else if (const char *v5 =
                        flagValue(argv[i], "--profile-out")) {
             flags.profile_out = v5;
+        } else if (const char *v6 = flagValue(argv[i], "--serve")) {
+            flags.serve = true;
+            flags.serve_port = static_cast<std::uint16_t>(
+                std::strtoul(v6, nullptr, 10));
         } else if (std::strcmp(argv[i], "--timelines") == 0) {
             flags.timelines = true;
         } else if (std::strcmp(argv[i], "--profile") == 0) {
@@ -253,6 +271,15 @@ applyObsFlags(const ObsFlags &flags)
     }
     if (flags.profile)
         setSpanProfiler(std::make_unique<SpanProfiler>());
+    if (flags.serve) {
+        TelemetryConfig cfg;
+        cfg.port = flags.serve_port;
+        std::string err;
+        // A failed bind is loud but not fatal: telemetry is never a
+        // reason to lose a simulation run.
+        if (!startTelemetry(cfg, &err))
+            util::warn("telemetry: %s", err.c_str());
+    }
 }
 
 void
@@ -288,6 +315,18 @@ setReportMeta(const std::string &key, double value)
     state().meta_num.emplace_back(key, value);
 }
 
+std::vector<std::pair<std::string, double>>
+reportMetaNumbers()
+{
+    return state().meta_num;
+}
+
+const std::string &
+reportProgramName()
+{
+    return state().program;
+}
+
 std::string
 reportJsonString()
 {
@@ -306,6 +345,15 @@ reportJsonString()
     w.endObject();
     perf().dumpJson(w);
     registry().dumpJson(w);
+    // Flat path -> registry-kind map, so the offline Prometheus
+    // export (pgss_report metrics) types stats the same way the live
+    // /metrics endpoint does. Reports predating this section fall
+    // back to gauge.
+    w.beginObject("stat_kinds");
+    for (const auto &[path, kind] : registry().flattenKinds())
+        w.field(path,
+                kind == StatKind::Counter ? "counter" : "gauge");
+    w.endObject();
     if (const SpanProfiler *prof = spanProfiler())
         prof->dumpProfileJson(w);
     if (const TimelineRecorder *rec = timelines())
@@ -318,6 +366,9 @@ bool
 finalize()
 {
     g_finalized.store(true);
+    // Stop serving before assembling outputs: no scrape observes the
+    // final report mid-write, and the port is free when main() ends.
+    stopTelemetry();
     if (TraceSink *t = traceSink())
         t->flush();
 

@@ -34,6 +34,10 @@
  *   --profile-out=<path>       (PGSS_PROFILE_OUT)       enable it and
  *                              also write a Chrome/Perfetto
  *                              trace_event JSON (ui.perfetto.dev)
+ *   --serve=<port>             (PGSS_SERVE_PORT)        serve live
+ *                              telemetry (/metrics /healthz /status)
+ *                              on the port (0 = ephemeral; see
+ *                              obs/telemetry.hh, DESIGN.md sec. 12)
  *
  * All flag stripping lives in parseObsFlags() so the bench and
  * example binaries share one implementation. initFromCli() strips the
@@ -49,6 +53,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/stats.hh"
 
@@ -73,6 +79,8 @@ struct ObsFlags
     bool profile = false;     ///< record spans (implied by
                               ///< profile_out)
     std::uint64_t timeline_interval = 0; ///< snapshot stride (0 = default)
+    bool serve = false;            ///< start the telemetry server
+    std::uint16_t serve_port = 0;  ///< --serve=PORT (0 = ephemeral)
 };
 
 /**
@@ -100,6 +108,13 @@ void initFromCli(int &argc, char **argv,
 /** Annotate the report's "meta" object (last write per key wins). */
 void setReportMeta(const std::string &key, const std::string &value);
 void setReportMeta(const std::string &key, double value);
+
+/** The numeric meta annotations set so far (live /metrics reads
+ * them so scraped and reported values share dotted paths). */
+std::vector<std::pair<std::string, double>> reportMetaNumbers();
+
+/** The program name initFromCli() recorded ("unknown" before). */
+const std::string &reportProgramName();
 
 /** The complete run-report JSON document, as finalize() writes it. */
 std::string reportJsonString();

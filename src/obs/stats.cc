@@ -228,6 +228,65 @@ StatsRegistry::dumpJsonString() const
     return w.str();
 }
 
+namespace
+{
+
+template <class Fn>
+void
+walkStats(const Group &g, const std::string &prefix, const Fn &fn)
+{
+    for (const Stat &s : g.stats()) {
+        const std::string full = prefix + s.name;
+        if (s.kind == StatKind::Vector) {
+            for (std::size_t i = 0; i < s.elements.size(); ++i)
+                fn(full + "." + s.elements[i], s, i);
+        } else {
+            fn(full, s, std::size_t{0});
+        }
+    }
+    for (const auto &c : g.children())
+        walkStats(*c, prefix + c->name() + ".", fn);
+}
+
+} // anonymous namespace
+
+std::vector<std::pair<std::string, double>>
+StatsRegistry::flattenValues() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    walkStats(root_, "stats.",
+              [&out](const std::string &path, const Stat &s,
+                     std::size_t elem) {
+                  double v = 0.0;
+                  switch (s.kind) {
+                    case StatKind::Counter:
+                      v = static_cast<double>(s.counter());
+                      break;
+                    case StatKind::Scalar:
+                    case StatKind::Formula:
+                      v = s.scalar();
+                      break;
+                    case StatKind::Vector: {
+                      const std::vector<double> vals = s.vec();
+                      v = elem < vals.size() ? vals[elem] : 0.0;
+                      break;
+                    }
+                  }
+                  out.emplace_back(path, v);
+              });
+    return out;
+}
+
+std::vector<std::pair<std::string, StatKind>>
+StatsRegistry::flattenKinds() const
+{
+    std::vector<std::pair<std::string, StatKind>> out;
+    walkStats(root_, "stats.",
+              [&out](const std::string &path, const Stat &s,
+                     std::size_t) { out.emplace_back(path, s.kind); });
+    return out;
+}
+
 const Stat *
 StatsRegistry::find(const std::string &path,
                     std::size_t *element_index) const

@@ -38,6 +38,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pgss::obs
@@ -145,6 +146,23 @@ class StatsRegistry
 
     /** Complete "pgss-stats" JSON document. */
     std::string dumpJsonString() const;
+
+    /**
+     * Every stat as ("stats.<dotted path>", value), tree order, with
+     * Vector stats flattened one element per entry — exactly the
+     * paths obs::loadReport() recovers from a run report, so the live
+     * /metrics endpoint and the offline export agree. Calls every
+     * getter (same cost as one dump).
+     */
+    std::vector<std::pair<std::string, double>> flattenValues() const;
+
+    /**
+     * Every stat as ("stats.<dotted path>", kind), tree order,
+     * aligned with flattenValues() (Vector elements carry
+     * StatKind::Vector). Cheap: no getters are called.
+     */
+    std::vector<std::pair<std::string, StatKind>>
+    flattenKinds() const;
 
     /**
      * Exact value of the Counter at dotted @p path

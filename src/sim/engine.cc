@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/perf.hh"
+#include "obs/progress.hh"
 #include "obs/spans.hh"
 #include "obs/stats.hh"
 #include "obs/timeline.hh"
@@ -243,6 +244,11 @@ SimulationEngine::run(std::uint64_t n, SimMode mode)
     // on.
     if (obs::TimelineRecorder *tl = obs::timelines())
         tl->advance(done);
+
+    // Live run-progress: relaxed adds on the thread's current job
+    // (telemetry /status and /metrics); nullptr outside harness work.
+    if (obs::JobHandle *job = obs::currentJob())
+        job->addOps(done);
 
     return {done, pipeline_->cycles() - cycles_before};
 }

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Minimal blocking-socket HTTP/1.1 plumbing for the live telemetry
+ * layer (DESIGN.md section 12): an embedded server that turns a
+ * running simulation into a scrapeable service, and the tiny client
+ * `tools/pgss_top` and the tests poll it with. Deliberately not a web
+ * framework:
+ *
+ *  - request-per-connection ("Connection: close"), no keep-alive, no
+ *    chunked transfer, no TLS — the payloads are one small text
+ *    document per request and the consumers are curl, Prometheus,
+ *    and pgss_top;
+ *  - bounded resources: one accept thread plus a fixed worker pool
+ *    pulling accepted sockets from a capped queue (overflow answers
+ *    503 and closes), per-socket receive/send timeouts so a stuck
+ *    peer cannot pin a worker;
+ *  - exact-path GET routing only (everything else is 404/405).
+ *
+ * The server owns no application state: handlers capture what they
+ * render. stop() (also the destructor) closes the listening socket,
+ * drains the workers, and joins every thread, so the port is
+ * immediately rebindable — the property the graceful-shutdown path
+ * relies on.
+ */
+
+#ifndef PGSS_UTIL_NET_HTTP_HH
+#define PGSS_UTIL_NET_HTTP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pgss::util::net
+{
+
+/** The request line, as much of it as the handlers need. */
+struct HttpRequest
+{
+    std::string method; ///< "GET", ...
+    std::string target; ///< path only; the query string is stripped
+    std::string query;  ///< raw query string ("" when none)
+};
+
+/** One response; the server adds the status line and framing headers. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** Standard reason phrase for @p status ("OK", "Not Found", ...). */
+const char *httpStatusText(int status);
+
+/**
+ * The embedded telemetry server. Typical use:
+ *
+ *     HttpServer srv;
+ *     srv.handle("/healthz", [](const HttpRequest &) { ... });
+ *     std::string err;
+ *     if (!srv.start(port, &err))   // port 0 = ephemeral
+ *         ...;
+ *     ... srv.port() is the bound port ...
+ *     srv.stop();
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    /** @p workers handling threads; clamped to [1, 8]. */
+    explicit HttpServer(std::size_t workers = 2);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Route exact @p path (e.g. "/metrics") to @p handler. Must be
+     * called before start(). */
+    void handle(const std::string &path, Handler handler);
+
+    /**
+     * Bind 0.0.0.0:@p port (0 = kernel-assigned ephemeral port),
+     * listen, and spawn the accept/worker threads. @return false with
+     * @p *error set when the socket cannot be bound.
+     */
+    bool start(std::uint16_t port, std::string *error = nullptr);
+
+    /** Close the socket and join every thread. Idempotent. */
+    void stop();
+
+    /** True between a successful start() and stop(). */
+    bool running() const { return running_; }
+
+    /** The bound port (resolves port 0), or 0 when not running. */
+    std::uint16_t port() const { return port_; }
+
+    /** Requests answered since start() (any status). */
+    std::uint64_t requestsServed() const;
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void serveConnection(int fd);
+    HttpResponse dispatch(const HttpRequest &req) const;
+
+    std::vector<std::pair<std::string, Handler>> routes_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    bool running_ = false;
+
+    std::size_t n_workers_;
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable conn_ready_;
+    std::deque<int> pending_; ///< accepted sockets awaiting a worker
+    bool stopping_ = false;
+
+    std::uint64_t served_ = 0; ///< guarded by mutex_
+};
+
+/**
+ * Blocking GET of http://@p host:@p port@p target with a @p
+ * timeout_ms connect/receive budget. @return false with @p *error set
+ * on connect/transport failure; an HTTP error status is a *successful*
+ * fetch (inspect @p out->status).
+ */
+bool httpGet(const std::string &host, std::uint16_t port,
+             const std::string &target, HttpResponse *out,
+             std::string *error = nullptr, int timeout_ms = 5000);
+
+} // namespace pgss::util::net
+
+#endif // PGSS_UTIL_NET_HTTP_HH

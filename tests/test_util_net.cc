@@ -1,0 +1,218 @@
+/**
+ * @file
+ * util/net/http: the minimal blocking HTTP/1.1 server and client the
+ * telemetry layer is built on. Everything binds port 0 (ephemeral) so
+ * tests never collide with each other or the host.
+ */
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/net/http.hh"
+
+using namespace pgss::util::net;
+
+namespace
+{
+
+TEST(HttpServer, StartServeStop)
+{
+    HttpServer server;
+    server.handle("/ping", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "pong";
+        r.content_type = "text/plain";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    ASSERT_TRUE(server.running());
+    ASSERT_GT(server.port(), 0);
+
+    HttpResponse resp;
+    ASSERT_TRUE(
+        httpGet("127.0.0.1", server.port(), "/ping", &resp, &err))
+        << err;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "pong");
+    EXPECT_EQ(resp.content_type, "text/plain");
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, UnknownPathIs404)
+{
+    HttpServer server;
+    server.handle("/known", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    HttpResponse resp;
+    ASSERT_TRUE(httpGet("127.0.0.1", server.port(), "/nope", &resp,
+                        &err))
+        << err;
+    EXPECT_EQ(resp.status, 404);
+    server.stop();
+}
+
+/** Send @p raw to localhost:@p port, return the status line. */
+std::string
+rawRequest(std::uint16_t port, const std::string &raw)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    (void)!::send(fd, raw.data(), raw.size(), 0);
+    std::string out;
+    char buf[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        out.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    const std::size_t eol = out.find("\r\n");
+    return eol == std::string::npos ? out : out.substr(0, eol);
+}
+
+TEST(HttpServer, NonGetIs405)
+{
+    HttpServer server;
+    server.handle("/x", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    const std::string status = rawRequest(
+        server.port(),
+        "POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+    EXPECT_NE(status.find("405"), std::string::npos) << status;
+    server.stop();
+}
+
+TEST(HttpServer, GarbageRequestIs400)
+{
+    HttpServer server;
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    const std::string status =
+        rawRequest(server.port(), "not http at all\r\n\r\n");
+    // Either a 400 or a closed connection is acceptable; never a 200.
+    EXPECT_EQ(status.find("200"), std::string::npos) << status;
+    server.stop();
+}
+
+TEST(HttpServer, HandlerSeesTargetAndQuery)
+{
+    HttpServer server;
+    std::string seen_target, seen_query;
+    server.handle("/q", [&](const HttpRequest &req) {
+        seen_target = req.target;
+        seen_query = req.query;
+        return HttpResponse{};
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    HttpResponse resp;
+    ASSERT_TRUE(httpGet("127.0.0.1", server.port(), "/q?a=1&b=2",
+                        &resp, &err))
+        << err;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(seen_target, "/q");
+    EXPECT_EQ(seen_query, "a=1&b=2");
+    server.stop();
+}
+
+TEST(HttpServer, PortIsRebindableAfterStop)
+{
+    HttpServer a;
+    std::string err;
+    ASSERT_TRUE(a.start(0, &err)) << err;
+    const std::uint16_t port = a.port();
+    a.stop();
+
+    HttpServer b;
+    ASSERT_TRUE(b.start(port, &err))
+        << "port " << port << " not released: " << err;
+    EXPECT_EQ(b.port(), port);
+    b.stop();
+}
+
+TEST(HttpServer, ConcurrentClients)
+{
+    HttpServer server(4);
+    std::atomic<int> calls{0};
+    server.handle("/c", [&](const HttpRequest &) {
+        ++calls;
+        HttpResponse r;
+        r.body = "ok";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+
+    constexpr int kThreads = 8, kPerThread = 5;
+    std::vector<std::thread> ts;
+    std::atomic<int> ok{0};
+    for (int i = 0; i < kThreads; ++i)
+        ts.emplace_back([&] {
+            for (int k = 0; k < kPerThread; ++k) {
+                HttpResponse resp;
+                if (httpGet("127.0.0.1", server.port(), "/c", &resp)
+                    && resp.status == 200 && resp.body == "ok")
+                    ++ok;
+            }
+        });
+    for (std::thread &t : ts)
+        t.join();
+    EXPECT_EQ(ok.load(), kThreads * kPerThread);
+    EXPECT_EQ(calls.load(), kThreads * kPerThread);
+    EXPECT_GE(server.requestsServed(), std::uint64_t(ok.load()));
+    server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable)
+{
+    HttpServer server;
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    server.stop();
+    server.stop(); // no-op
+    ASSERT_TRUE(server.start(0, &err)) << err;
+    EXPECT_TRUE(server.running());
+    server.stop();
+}
+
+TEST(HttpClient, ConnectRefusedFails)
+{
+    // Grab an ephemeral port, then close it: nothing listens there.
+    HttpServer probe;
+    std::string err;
+    ASSERT_TRUE(probe.start(0, &err)) << err;
+    const std::uint16_t dead = probe.port();
+    probe.stop();
+
+    HttpResponse resp;
+    EXPECT_FALSE(httpGet("127.0.0.1", dead, "/", &resp, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+} // namespace

@@ -14,7 +14,11 @@
  *                                  [--tolerance=0.25]
  *                                  regression gate: exit 1 when any
  *                                  perf.*.mips fell more than the
- *                                  tolerance below the baseline
+ *                                  tolerance below the baseline;
+ *                                  exit 3 when the baseline itself is
+ *                                  missing or malformed (a setup
+ *                                  problem, not a perf regression —
+ *                                  CI can tell the two apart)
  *   pgss_bench_history list BENCH_*.json
  *                                  the trajectory: one row per
  *                                  snapshot, one column per mode MIPS
@@ -118,13 +122,48 @@ cmdSnapshot(const std::string &report_path,
     return 0;
 }
 
+// check's exit codes: 0 ok, 1 regression, 2 usage, 3 bad baseline.
+constexpr int kExitBadBaseline = 3;
+
+/**
+ * Load the gate's baseline snapshot, separating "the baseline is
+ * missing/broken" (setup problem, exit 3) from "the run regressed"
+ * (exit 1). A snapshot with no perf.<mode>.mips values would make the
+ * gate pass vacuously, so it counts as malformed too.
+ */
+bool
+loadBaseline(const std::string &path, LoadedReport &out)
+{
+    std::string err;
+    bool ok = pgss::obs::loadReport(path, out, &err);
+    if (ok) {
+        bool any_mips = false;
+        for (const auto &[p, v] : out.values)
+            any_mips = any_mips ||
+                       (p.rfind("perf.", 0) == 0 && p.size() > 5 &&
+                        p.compare(p.size() - 5, 5, ".mips") == 0);
+        if (!any_mips) {
+            ok = false;
+            err = "'" + path + "' has no perf.<mode>.mips values";
+        }
+    }
+    if (!ok)
+        std::cerr << "pgss_bench_history: bad baseline: " << err
+                  << "; regenerate it with: pgss_bench_history "
+                     "snapshot <report.json> "
+                  << path << "\n";
+    return ok;
+}
+
 int
 cmdCheck(const std::string &report_path,
          const std::string &baseline_path, double tolerance)
 {
     LoadedReport report, baseline;
-    if (!load(report_path, report) || !load(baseline_path, baseline))
+    if (!load(report_path, report))
         return 1;
+    if (!loadBaseline(baseline_path, baseline))
+        return kExitBadBaseline;
     const CheckResult res = pgss::obs::checkAgainstBaseline(
         report, baseline, tolerance);
     for (const std::string &v : res.violations)

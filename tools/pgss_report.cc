@@ -9,6 +9,13 @@
  *   pgss_report profile report.json       span profile tables
  *                                         (--top=N widens the list)
  *   pgss_report profile a.json b.json     per-span self-time deltas
+ *   pgss_report metrics report.json       Prometheus text exposition
+ *                                         of the report's numbers —
+ *                                         the same families a live
+ *                                         --serve=PORT run exposes on
+ *                                         GET /metrics, for pushing
+ *                                         finished-run results at a
+ *                                         textfile collector
  *   pgss_report check report.json [trace.jsonl]
  *                                         sanity checks; exit 1 on any
  *                                         violation (the CI gate)
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "obs/analyze.hh"
+#include "obs/prometheus.hh"
 
 namespace
 {
@@ -43,6 +51,7 @@ usage()
         << "       pgss_report diff <a.json> <b.json>\n"
         << "       pgss_report profile <report.json> [--top=N]\n"
         << "       pgss_report profile <a.json> <b.json>\n"
+        << "       pgss_report metrics <report.json>\n"
         << "       pgss_report check <report.json> [trace.jsonl]\n"
         << "                   [--baseline=<bench.json>]"
            " [--tolerance=<frac>]\n";
@@ -123,6 +132,17 @@ cmdProfile(const std::vector<std::string> &paths, std::size_t top_n)
 }
 
 int
+cmdMetrics(const std::string &path)
+{
+    LoadedReport report;
+    if (!load(path, report))
+        return 1;
+    pgss::obs::renderPromText(
+        std::cout, pgss::obs::familiesFromReport(report));
+    return 0;
+}
+
+int
 cmdCheck(const std::string &report_path,
          const std::string &trace_path,
          const std::string &baseline_path, double tolerance)
@@ -196,6 +216,8 @@ main(int argc, char **argv)
                         baseline,
                         std::strtod(tolerance.c_str(), nullptr));
     }
+    if (args[0] == "metrics")
+        return args.size() == 2 ? cmdMetrics(args[1]) : usage();
     if (args[0] == "show")
         return args.size() == 2 ? cmdShow(args[1]) : usage();
     return args.size() == 1 ? cmdShow(args[0]) : usage();

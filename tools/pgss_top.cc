@@ -1,0 +1,251 @@
+/**
+ * @file
+ * pgss_top — live monitor for a served bench run (DESIGN.md section
+ * 12). Polls GET /status on a process started with --serve=PORT (or
+ * PGSS_SERVE_PORT) and renders a refreshing per-job table: progress
+ * against the entry's expected instruction budget, current phase,
+ * detailed samples credited, CI relative half-width, host MIPS, ETA.
+ *
+ *   pgss_top --port=9464                  poll localhost, 1s refresh
+ *   pgss_top --host=10.0.0.7 --port=9464  remote run
+ *   pgss_top --port=9464 --interval=0.2   faster refresh
+ *   pgss_top --port=9464 --once           one snapshot, no clearing
+ *                                         (scriptable / CI-friendly)
+ *
+ * Exit: 0 when the run finishes (the server goes away after we saw
+ * it), 1 when the server never answered (--once or first contact).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_read.hh"
+#include "util/env.hh"
+#include "util/net/http.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using pgss::obs::JsonValue;
+
+int
+usage()
+{
+    std::cerr << "usage: pgss_top --port=<p> [--host=<h>]"
+                 " [--interval=<sec>] [--once]\n"
+              << "       (PGSS_SERVE_PORT is the --port default)\n";
+    return 2;
+}
+
+/** Pop "--name=value" from @p args into @p value; true if present. */
+bool
+takeOption(std::vector<std::string> &args, const std::string &name,
+           std::string &value)
+{
+    const std::string prefix = "--" + name + "=";
+    for (auto it = args.begin(); it != args.end(); ++it) {
+        if (it->rfind(prefix, 0) == 0) {
+            value = it->substr(prefix.size());
+            args.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Pop bare "--name"; true if present. */
+bool
+takeFlag(std::vector<std::string> &args, const std::string &name)
+{
+    const std::string flag = "--" + name;
+    for (auto it = args.begin(); it != args.end(); ++it) {
+        if (*it == flag) {
+            args.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+fmtDuration(double s)
+{
+    char buf[32];
+    if (s < 0.0)
+        return "-";
+    if (s < 90.0)
+        std::snprintf(buf, sizeof(buf), "%.0fs", s);
+    else if (s < 5400.0)
+        std::snprintf(buf, sizeof(buf), "%.1fm", s / 60.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fh", s / 3600.0);
+    return buf;
+}
+
+std::string
+fmt(const char *f, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+/** Render one /status document as the top table. */
+void
+render(const JsonValue &doc, bool clear)
+{
+    if (clear)
+        std::fputs("\033[H\033[J", stdout); // home + clear below
+
+    const JsonValue *prog = doc.get("program");
+    const JsonValue *totals = doc.get("totals");
+    const double uptime =
+        doc.get("uptime_seconds")
+            ? doc.get("uptime_seconds")->asNumber()
+            : 0.0;
+    std::printf(
+        "pgss_top - %s  up %s  jobs %llu run / %llu done"
+        " / %llu stalled  %.1f Mops retired, %llu samples\n\n",
+        prog && prog->isString() ? prog->string.c_str() : "?",
+        fmtDuration(uptime).c_str(),
+        totals ? (unsigned long long)totals->get("jobs_running")
+                     ->asUint()
+               : 0ULL,
+        totals ? (unsigned long long)totals->get("jobs_done")
+                     ->asUint()
+               : 0ULL,
+        totals ? (unsigned long long)totals->get("jobs_stalled")
+                     ->asUint()
+               : 0ULL,
+        totals ? totals->get("ops")->asNumber() / 1e6 : 0.0,
+        totals ? (unsigned long long)totals->get("samples")->asUint()
+               : 0ULL);
+
+    pgss::util::Table t("");
+    t.setHeader({"job", "entry", "state", "progress", "phase",
+                 "samples", "ci%", "mips", "elapsed", "eta"});
+    const JsonValue *jobs = doc.get("jobs");
+    if (jobs && jobs->isArray()) {
+        for (const JsonValue &j : jobs->array) {
+            const std::uint64_t ops =
+                j.get("ops") ? j.get("ops")->asUint() : 0;
+            const std::uint64_t expected =
+                j.get("expected_ops")
+                    ? j.get("expected_ops")->asUint()
+                    : 0;
+            std::string progress;
+            if (expected > 0) {
+                const double pct =
+                    100.0 * static_cast<double>(ops) /
+                    static_cast<double>(expected);
+                progress = fmt("%.0f%%", pct < 100.0 ? pct : 100.0);
+            } else {
+                progress = fmt("%.1fM", ops / 1e6);
+            }
+            const JsonValue *state = j.get("state");
+            const JsonValue *entry = j.get("entry");
+            const double ci =
+                j.get("ci_rel") ? j.get("ci_rel")->asNumber() : 0.0;
+            const double eta = j.get("eta_seconds")
+                                   ? j.get("eta_seconds")->asNumber()
+                                   : -1.0;
+            t.addRow(
+                {std::to_string(j.get("job") ? j.get("job")->asUint()
+                                             : 0),
+                 entry && entry->isString() ? entry->string : "?",
+                 state && state->isString() ? state->string : "?",
+                 progress,
+                 j.get("phases")
+                     ? std::to_string(j.get("phases")->asUint())
+                     : "0",
+                 j.get("samples")
+                     ? std::to_string(j.get("samples")->asUint())
+                     : "0",
+                 fmt("%.2f", ci * 100.0), // CI half-width, % of mean
+                 fmt("%.1f",
+                     j.get("mips") ? j.get("mips")->asNumber() : 0.0),
+                 fmtDuration(j.get("elapsed_seconds")
+                                 ? j.get("elapsed_seconds")
+                                       ->asNumber()
+                                 : 0.0),
+                 fmtDuration(eta)});
+        }
+    }
+    t.print(std::cout);
+    std::cout.flush();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string host = "127.0.0.1";
+    std::string port_s = pgss::util::envString("PGSS_SERVE_PORT", "");
+    std::string interval_s = "1.0";
+    takeOption(args, "host", host);
+    takeOption(args, "port", port_s);
+    takeOption(args, "interval", interval_s);
+    const bool once = takeFlag(args, "once");
+    if (!args.empty() || port_s.empty())
+        return usage();
+
+    const int port = std::atoi(port_s.c_str());
+    if (port <= 0 || port > 65535) {
+        std::cerr << "pgss_top: bad port '" << port_s << "'\n";
+        return 2;
+    }
+    double interval = std::strtod(interval_s.c_str(), nullptr);
+    if (!(interval > 0.05))
+        interval = 1.0;
+
+    bool ever_connected = false;
+    for (;;) {
+        pgss::util::net::HttpResponse resp;
+        std::string err;
+        const bool got = pgss::util::net::httpGet(
+            host, static_cast<std::uint16_t>(port), "/status", &resp,
+            &err);
+        if (!got || resp.status != 200) {
+            if (once || !ever_connected) {
+                std::cerr << "pgss_top: no /status from " << host
+                          << ":" << port << " ("
+                          << (got ? "HTTP " + std::to_string(
+                                                  resp.status)
+                                  : err)
+                          << ")\n"
+                          << "is the run serving? start it with "
+                             "--serve=" << port << " or "
+                          << "PGSS_SERVE_PORT=" << port << "\n";
+                return 1;
+            }
+            // We were watching a run and the port went away: the
+            // process finished (finalize() stops the server).
+            std::printf("\nrun finished (%s:%d gone)\n", host.c_str(),
+                        port);
+            return 0;
+        }
+        ever_connected = true;
+
+        JsonValue doc;
+        if (!pgss::obs::parseJson(resp.body, doc, &err)) {
+            std::cerr << "pgss_top: bad /status JSON: " << err
+                      << "\n";
+            return 1;
+        }
+        render(doc, !once);
+        if (once)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+    }
+}
