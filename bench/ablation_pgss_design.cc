@@ -95,35 +95,64 @@ main(int argc, char **argv)
 
     // (entry, variant) runs are independent: fill the result grid on
     // the harness workers, print serially so output is identical at
-    // any PGSS_JOBS.
+    // any PGSS_JOBS. The per-entry results travel as journaled
+    // payloads (4 round-trip doubles per variant), so a --resume run
+    // replays finished entries byte-identically instead of re-running
+    // them.
     const std::vector<Variant> vars = variants(bench::benchConfig());
-    std::vector<std::vector<core::PgssResult>> results(
-        entries.size(), std::vector<core::PgssResult>(vars.size()));
-    bench::runEntriesParallel(entries, [&](std::size_t b) {
-        for (std::size_t vi = 0; vi < vars.size(); ++vi) {
-            sim::SimulationEngine engine(entries[b].built.program,
-                                         vars[vi].engine);
-            results[b][vi] =
-                core::PgssController(vars[vi].config).run(engine);
-        }
-    });
+    const std::vector<bench::EntryOutcome> outcomes =
+        bench::runEntriesJournaled(
+            entries, "ablation", [&](std::size_t b) {
+                std::vector<double> vals;
+                vals.reserve(4 * vars.size());
+                for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+                    sim::SimulationEngine engine(
+                        entries[b].built.program, vars[vi].engine);
+                    const core::PgssResult r =
+                        core::PgssController(vars[vi].config)
+                            .run(engine);
+                    vals.push_back(r.est_ipc);
+                    vals.push_back(static_cast<double>(r.n_samples));
+                    vals.push_back(
+                        static_cast<double>(r.detailed_ops));
+                    vals.push_back(static_cast<double>(r.n_phases));
+                }
+                return bench::encodeDoubles(vals);
+            });
 
+    bool any_failed = false;
     for (std::size_t b = 0; b < entries.size(); ++b) {
         const bench::Entry &e = entries[b];
         std::printf("\n-- %s (true IPC %.3f) --\n", e.short_name.c_str(),
                     e.profile.trueIpc());
+        std::vector<double> vals;
+        if (!outcomes[b].ok ||
+            !bench::decodeDoubles(outcomes[b].payload, vals) ||
+            vals.size() != 4 * vars.size()) {
+            any_failed = true;
+            std::printf("   entry failed: %s\n",
+                        outcomes[b].error.empty()
+                            ? "bad journal payload"
+                            : outcomes[b].error.c_str());
+            continue;
+        }
         util::Table t;
         t.setHeader({"variant", "error", "samples", "detailed ops",
                      "phases"});
         for (std::size_t vi = 0; vi < vars.size(); ++vi) {
-            const core::PgssResult &r = results[b][vi];
-            const double err =
-                std::abs(r.est_ipc - e.profile.trueIpc()) /
-                e.profile.trueIpc();
+            const double est_ipc = vals[4 * vi];
+            const auto n_samples =
+                static_cast<std::uint64_t>(vals[4 * vi + 1]);
+            const auto detailed_ops =
+                static_cast<std::uint64_t>(vals[4 * vi + 2]);
+            const auto n_phases =
+                static_cast<std::uint64_t>(vals[4 * vi + 3]);
+            const double err = std::abs(est_ipc - e.profile.trueIpc()) /
+                               e.profile.trueIpc();
             t.addRow({vars[vi].name, util::Table::fmtPercent(err, 2),
-                      std::to_string(r.n_samples),
-                      util::Table::fmtCount(r.detailed_ops),
-                      std::to_string(r.n_phases)});
+                      std::to_string(n_samples),
+                      util::Table::fmtCount(detailed_ops),
+                      std::to_string(n_phases)});
         }
         t.print(std::cout);
     }
@@ -135,5 +164,7 @@ main(int argc, char **argv)
                 "within-phase variance);\na higher sample floor "
                 "costs detail on stable workloads (equake).\n");
     bench::finish();
-    return 0;
+    // Failed entries were isolated, not fatal — but the exit status
+    // still reports them so CI (and a --resume retry) notices.
+    return any_failed ? 1 : 0;
 }

@@ -165,64 +165,76 @@ main(int argc, char **argv)
     // Per-technique op counts over the whole suite. Each entry's
     // contributions land in slot b (computed on harness workers);
     // summation happens serially in suite order afterwards, so totals
-    // are bit-identical at any PGSS_JOBS.
-    struct EntryOps
-    {
-        double smarts_ff = 0, smarts_det = 0;
-        double sp_ff = 0, sp_det = 0;
-        double ol_ff = 0, ol_det = 0;
-        double pgss_ff = 0, pgss_det = 0;
-    };
+    // are bit-identical at any PGSS_JOBS. The eight per-entry doubles
+    // travel as a journaled payload, so a killed run resumed with
+    // --resume re-aggregates exactly the numbers the finished entries
+    // produced.
     const std::vector<bench::Entry> suite = bench::loadSuite();
-    std::vector<EntryOps> per_entry(suite.size());
-    bench::runEntriesParallel(suite, [&](std::size_t b) {
-        const bench::Entry &e = suite[b];
-        EntryOps &out = per_entry[b];
-        const double n =
-            static_cast<double>(e.profile.totalOps());
+    const std::vector<bench::EntryOutcome> outcomes =
+        bench::runEntriesJournaled(suite, "ops", [&](std::size_t b) {
+            const bench::Entry &e = suite[b];
+            const double n =
+                static_cast<double>(e.profile.totalOps());
 
-        // SMARTS: functional warming between 4k-op sample windows.
-        const double smarts_samples = n / 1'004'000.0;
-        out.smarts_det = smarts_samples * 4'000.0;
-        out.smarts_ff = n - smarts_samples * 4'000.0;
+            // SMARTS: functional warming between 4k-op sample
+            // windows.
+            const double smarts_samples = n / 1'004'000.0;
+            const double smarts_det = smarts_samples * 4'000.0;
+            const double smarts_ff = n - smarts_det;
 
-        // SimPoint (10 clusters x 10M): one fast BBV-collection pass
-        // plus a fast pass to reach the points, plus the details.
-        out.sp_ff = 2.0 * n;
-        out.sp_det = 10.0 * 10e6;
+            // SimPoint (10 clusters x 10M): one fast BBV-collection
+            // pass plus a fast pass to reach the points, plus the
+            // details.
+            const double sp_ff = 2.0 * n;
+            const double sp_det = 10.0 * 10e6;
 
-        // Online SimPoint (10M, 0.1 pi): one warm pass with BBV, one
-        // 10M-op detailed sample per phase.
-        const analysis::PhaseSequence seq = analysis::classifyProfile(
-            e.profile.aggregate(100), 0.1 * M_PI);
-        out.ol_ff = n;
-        out.ol_det = seq.n_phases * 10e6;
+            // Online SimPoint (10M, 0.1 pi): one warm pass with BBV,
+            // one 10M-op detailed sample per phase.
+            const analysis::PhaseSequence seq =
+                analysis::classifyProfile(e.profile.aggregate(100),
+                                          0.1 * M_PI);
+            const double ol_ff = n;
+            const double ol_det = seq.n_phases * 10e6;
 
-        // PGSS (1M, 0.05 pi): run it live for honest counts.
-        core::PgssConfig cfg;
-        cfg.bbv_period = 1'000'000;
-        sim::SimulationEngine engine(e.built.program,
-                                     bench::benchConfig());
-        const core::PgssResult r =
-            core::PgssController(cfg).run(engine);
-        out.pgss_ff =
-            static_cast<double>(r.mode_ops.functional_warm);
-        out.pgss_det = static_cast<double>(r.detailed_ops);
-    });
+            // PGSS (1M, 0.05 pi): run it live for honest counts.
+            core::PgssConfig cfg;
+            cfg.bbv_period = 1'000'000;
+            sim::SimulationEngine engine(e.built.program,
+                                         bench::benchConfig());
+            const core::PgssResult r =
+                core::PgssController(cfg).run(engine);
+            return bench::encodeDoubles(
+                {smarts_ff, smarts_det, sp_ff, sp_det, ol_ff, ol_det,
+                 static_cast<double>(r.mode_ops.functional_warm),
+                 static_cast<double>(r.detailed_ops)});
+        });
 
     double smarts_ff = 0, smarts_det = 0;
     double sp_ff = 0, sp_det = 0;
     double ol_ff = 0, ol_det = 0;
     double pgss_ff = 0, pgss_det = 0;
-    for (const EntryOps &out : per_entry) {
-        smarts_ff += out.smarts_ff;
-        smarts_det += out.smarts_det;
-        sp_ff += out.sp_ff;
-        sp_det += out.sp_det;
-        ol_ff += out.ol_ff;
-        ol_det += out.ol_det;
-        pgss_ff += out.pgss_ff;
-        pgss_det += out.pgss_det;
+    bool any_failed = false;
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        std::vector<double> v;
+        if (!outcomes[b].ok ||
+            !bench::decodeDoubles(outcomes[b].payload, v) ||
+            v.size() != 8) {
+            any_failed = true;
+            std::fprintf(stderr, "entry %s failed: %s\n",
+                         suite[b].name.c_str(),
+                         outcomes[b].error.empty()
+                             ? "bad journal payload"
+                             : outcomes[b].error.c_str());
+            continue;
+        }
+        smarts_ff += v[0];
+        smarts_det += v[1];
+        sp_ff += v[2];
+        sp_det += v[3];
+        ol_ff += v[4];
+        ol_det += v[5];
+        pgss_ff += v[6];
+        pgss_det += v[7];
     }
 
     util::Table t("estimated total simulation time, ten-workload "
@@ -261,5 +273,5 @@ main(int argc, char **argv)
                 "Our\nFF/detailed rate gap is small, as was the "
                 "paper's (Section 6 caveat).\n");
     bench::finish();
-    return 0;
+    return any_failed ? 1 : 0;
 }

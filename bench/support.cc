@@ -2,22 +2,152 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
 
 #include "analysis/profile_cache.hh"
+#include "obs/json.hh"
+#include "obs/json_read.hh"
 #include "obs/progress.hh"
 #include "obs/report.hh"
 #include "obs/spans.hh"
 #include "util/env.hh"
+#include "util/fi.hh"
+#include "util/journal.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace pgss::bench
 {
 
+namespace
+{
+
+/** --journal/--resume plumbing shared by every journaled stage. */
+struct JournalState
+{
+    std::string path;   ///< "" = journaling off
+    bool resume = false;
+    bool loaded = false;
+    std::unique_ptr<util::Journal> journal;
+    std::mutex mtx; ///< append order + lazy journal open
+    /** stage \x1f entry-name -> payload of recorded successes. */
+    std::map<std::string, std::string> completed;
+};
+
+JournalState &
+journalState()
+{
+    static JournalState s;
+    return s;
+}
+
+std::string
+journalKey(const std::string &stage, const std::string &entry)
+{
+    return stage + '\x1f' + entry;
+}
+
+/** Replay the journal into completed (resume runs only). */
+void
+loadJournalOnce()
+{
+    JournalState &js = journalState();
+    std::lock_guard<std::mutex> lock(js.mtx);
+    if (js.loaded)
+        return;
+    js.loaded = true;
+    if (!js.resume || js.path.empty())
+        return;
+    std::vector<std::string> lines;
+    std::size_t torn = 0;
+    util::Journal::readLines(js.path, lines, &torn);
+    std::size_t replayed = 0;
+    for (const std::string &line : lines) {
+        obs::JsonValue v;
+        if (!obs::parseJson(line, v) || !v.isObject())
+            continue; // foreign or damaged line: ignore, re-run
+        const obs::JsonValue *stage = v.get("stage");
+        const obs::JsonValue *entry = v.get("entry");
+        const obs::JsonValue *ok = v.get("ok");
+        const obs::JsonValue *payload = v.get("payload");
+        if (!stage || !entry || !ok || !stage->isString() ||
+            !entry->isString() || !ok->isBool())
+            continue;
+        // Error records are deliberately not replayed: a resumed run
+        // retries what failed, skips only what succeeded.
+        if (!ok->boolean || !payload || !payload->isString())
+            continue;
+        js.completed[journalKey(stage->string, entry->string)] =
+            payload->string;
+        ++replayed;
+    }
+    if (replayed > 0 || torn > 0)
+        util::inform("resume: %zu completed entr%s replayed from %s%s",
+                     replayed, replayed == 1 ? "y" : "ies",
+                     js.path.c_str(),
+                     torn ? " (torn trailing record dropped)" : "");
+}
+
+void
+appendJournalRecord(const std::string &stage, const std::string &entry,
+                    std::size_t index, const EntryOutcome &outcome)
+{
+    JournalState &js = journalState();
+    if (js.path.empty())
+        return;
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("stage", stage);
+    w.field("entry", entry);
+    w.field("index", std::uint64_t{index});
+    w.field("ok", outcome.ok);
+    if (outcome.ok)
+        w.field("payload", outcome.payload);
+    else
+        w.field("error", outcome.error);
+    w.endObject();
+    std::lock_guard<std::mutex> lock(js.mtx);
+    if (!js.journal)
+        js.journal = std::make_unique<util::Journal>(js.path);
+    if (!js.journal->append(w.str()))
+        util::warn("journal: could not record completion of %s/%s",
+                   stage.c_str(), entry.c_str());
+}
+
+} // anonymous namespace
+
 void
 init(int &argc, char **argv, const std::string &figure_id)
 {
     obs::initFromCli(argc, argv, figure_id);
+
+    // Journal flags ride the same strip-from-argv convention as the
+    // obs flags (env fallback, explicit flag wins).
+    JournalState &js = journalState();
+    js.path = util::envString("PGSS_JOURNAL", "");
+    js.resume = util::envString("PGSS_RESUME", "") == "1";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--journal=", 10) == 0) {
+            js.path = arg + 10;
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            js.resume = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (js.resume && js.path.empty())
+        util::warn("--resume has no effect without --journal=<path> "
+                   "(or PGSS_JOURNAL)");
+
     obs::setReportMeta("workload_scale", benchScale());
 }
 
@@ -105,6 +235,102 @@ runEntriesParallel(const std::vector<Entry> &entries,
                                entries[i].profile.totalOps());
             body(i);
         });
+}
+
+std::vector<EntryOutcome>
+runEntriesJournaled(const std::vector<Entry> &entries,
+                    const std::string &stage,
+                    const std::function<std::string(std::size_t)> &body)
+{
+    loadJournalOnce();
+    JournalState &js = journalState();
+    std::vector<EntryOutcome> out(entries.size());
+
+    // Resolve journal hits up front so the parallel pass only spends
+    // workers on the remaining entries.
+    {
+        std::lock_guard<std::mutex> lock(js.mtx);
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const auto it =
+                js.completed.find(journalKey(stage, entries[i].name));
+            if (it == js.completed.end())
+                continue;
+            out[i].ok = true;
+            out[i].from_journal = true;
+            out[i].payload = it->second;
+        }
+    }
+
+    runEntriesParallel(entries.size(), [&](std::size_t i) {
+        EntryOutcome &o = out[i];
+        if (o.from_journal)
+            return;
+        obs::ScopedJob job(entries[i].name,
+                           entries[i].profile.totalOps());
+        // Per-entry isolation boundary: one entry failing (injected
+        // fault, resource exhaustion, workload bug) becomes an error
+        // record; the rest of the suite still completes and a later
+        // --resume run retries only the failures.
+        try {
+            o.payload = body(i);
+            o.ok = true;
+        } catch (const std::exception &e) {
+            o.ok = false;
+            o.error = e.what();
+            ++util::fi::counter("bench.entry_failed");
+            util::warn("entry %s failed: %s",
+                       entries[i].name.c_str(), e.what());
+        }
+        appendJournalRecord(stage, entries[i].name, i, o);
+    });
+    return out;
+}
+
+bool
+resumeRequested()
+{
+    return journalState().resume;
+}
+
+const std::string &
+journalPath()
+{
+    return journalState().path;
+}
+
+std::string
+encodeDoubles(const std::vector<double> &xs)
+{
+    std::string out;
+    char buf[40];
+    for (double x : xs) {
+        if (!out.empty())
+            out.push_back(' ');
+        // %.17g is the shortest format guaranteed to round-trip an
+        // IEEE double exactly — the byte-identical-resume contract
+        // rests on it.
+        std::snprintf(buf, sizeof(buf), "%.17g", x);
+        out += buf;
+    }
+    return out;
+}
+
+bool
+decodeDoubles(const std::string &payload, std::vector<double> &out)
+{
+    out.clear();
+    const char *p = payload.c_str();
+    while (*p != '\0') {
+        char *end = nullptr;
+        const double v = std::strtod(p, &end);
+        if (end == p)
+            return false;
+        out.push_back(v);
+        p = end;
+        while (*p == ' ')
+            ++p;
+    }
+    return true;
 }
 
 void

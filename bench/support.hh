@@ -90,6 +90,47 @@ void runEntriesParallel(std::size_t n,
 void runEntriesParallel(const std::vector<Entry> &entries,
                         const std::function<void(std::size_t)> &body);
 
+/** What one journaled entry produced (see runEntriesJournaled). */
+struct EntryOutcome
+{
+    bool ok = false;           ///< body completed (now or earlier)
+    bool from_journal = false; ///< replayed from the journal
+    std::string payload;       ///< body's serialized result
+    std::string error;         ///< what() when the body threw
+};
+
+/**
+ * Resumable variant of runEntriesParallel(): run
+ * @p body(i) -> payload for every entry not already completed in the
+ * journal, recording one durable JSONL record per finished entry
+ * (keyed by @p stage + entry name). With --resume, entries whose
+ * success records are in the journal are skipped and their payloads
+ * returned as recorded — the caller decodes payloads identically in
+ * both cases, so resumed output is byte-identical to an uninterrupted
+ * run. A body that throws becomes an error outcome (and an error
+ * record) instead of taking down the suite; error records are retried
+ * on resume. Without --journal this degrades to plain parallel
+ * execution with per-entry isolation.
+ */
+std::vector<EntryOutcome>
+runEntriesJournaled(const std::vector<Entry> &entries,
+                    const std::string &stage,
+                    const std::function<std::string(std::size_t)> &body);
+
+/** True when --resume / PGSS_RESUME=1 was given. */
+bool resumeRequested();
+
+/** The completion-journal path ("" when journaling is off). */
+const std::string &journalPath();
+
+/**
+ * Encode doubles so decode(encode(x)) == x exactly (%.17g round
+ * trip) — the payload convention journaled benches use.
+ */
+std::string encodeDoubles(const std::vector<double> &xs);
+bool decodeDoubles(const std::string &payload,
+                   std::vector<double> &out);
+
 /** Print the standard bench header (figure id, scale, note). */
 void printHeader(const std::string &figure, const std::string &note);
 

@@ -3,11 +3,11 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <iterator>
 
 #include "obs/spans.hh"
+#include "util/atomic_file.hh"
 #include "util/env.hh"
+#include "util/fi.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
 
@@ -18,7 +18,15 @@ namespace
 {
 
 constexpr std::uint32_t profile_magic = 0x50475046; // "PGPF"
-constexpr std::uint32_t profile_version = 2;
+// v3: CRC-32 seal after the header fields and after the interval
+// payload, so bit-flips and truncation are detected as Corrupt
+// (quarantine + rebuild) instead of silently skewing ground truth.
+constexpr std::uint32_t profile_version = 3;
+
+// Cache file traffic checks the "cache.*" fault sites; cache.read
+// corrupts loaded bytes so CRC validation is what catches them.
+util::FileSites cache_sites("cache");
+util::fi::Site cache_read("cache.read");
 
 /** FNV-1a over the pieces that define a workload+machine identity. */
 std::uint64_t
@@ -76,20 +84,32 @@ serializeProfile(const IntervalProfile &p)
     w.putU64(p.totalOps());
     w.putU64(p.totalCycles());
     w.putU64(p.intervals());
+    w.putSectionCrc(); // header
     for (std::size_t i = 0; i < p.intervals(); ++i) {
         w.putU64(p.intervalCycles(i));
         w.putDoubleVec(p.bbvRaw(i));
     }
+    w.putSectionCrc(); // intervals
     return w.bytes();
 }
 
 IntervalProfile
 deserializeProfile(const std::vector<std::uint8_t> &data, bool &ok)
 {
+    util::ReadError err;
+    IntervalProfile p = deserializeProfile(data, err);
+    ok = err == util::ReadError::None;
+    return p;
+}
+
+IntervalProfile
+deserializeProfile(const std::vector<std::uint8_t> &data,
+                   util::ReadError &err)
+{
     IntervalProfile p;
     util::BinaryReader r(data, profile_magic, profile_version);
     if (!r.ok()) {
-        ok = false;
+        err = r.error();
         return p;
     }
     const std::string name = r.getString();
@@ -98,12 +118,14 @@ deserializeProfile(const std::vector<std::uint8_t> &data, bool &ok)
     const std::uint64_t total_ops = r.getU64();
     const std::uint64_t total_cycles = r.getU64();
     const std::uint64_t n = r.getU64();
+    r.checkSectionCrc(); // header
     for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
         const std::uint64_t cycles = r.getU64();
         p.addInterval(cycles, r.getDoubleVec());
     }
+    r.checkSectionCrc(); // intervals
     p.setTotals(total_ops, total_cycles);
-    ok = r.ok();
+    err = r.error();
     return p;
 }
 
@@ -135,20 +157,22 @@ ProfileCache::loadOrBuild(const isa::Program &program,
 
     {
         PGSS_SPAN("profile_cache.load", Io);
-        util::BinaryReader r = util::BinaryReader::fromFile(
-            path, profile_magic, profile_version);
-        if (r.ok()) {
-            // Re-read through the public deserializer so the file
-            // format has one owner.
-            std::ifstream in(path, std::ios::binary);
-            std::vector<std::uint8_t> bytes(
-                (std::istreambuf_iterator<char>(in)),
-                std::istreambuf_iterator<char>());
-            bool ok = false;
-            IntervalProfile p = deserializeProfile(bytes, ok);
-            if (ok) {
+        std::vector<std::uint8_t> bytes;
+        if (util::readFileBytes(path, bytes)) {
+            // Injected read corruption lands on the raw bytes, so it
+            // exercises exactly the path a flipped bit on disk takes.
+            cache_read.corrupt(bytes);
+            util::ReadError err;
+            IntervalProfile p = deserializeProfile(bytes, err);
+            if (err == util::ReadError::None) {
                 util::verbose("profile cache hit: %s", path.c_str());
                 return p;
+            }
+            if (err == util::ReadError::Corrupt) {
+                // Damage, not staleness: set the file aside for
+                // inspection and rebuild ground truth from scratch.
+                ++util::fi::counter("cache.quarantined");
+                util::quarantineFile(path);
             }
         }
     }
@@ -165,14 +189,15 @@ ProfileCache::loadOrBuild(const isa::Program &program,
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     const auto bytes = serializeProfile(p);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (out) {
-        out.write(reinterpret_cast<const char *>(bytes.data()),
-                  static_cast<std::streamsize>(bytes.size()));
+    std::string werr;
+    if (!util::atomicWriteFile(path, bytes.data(), bytes.size(),
+                               &cache_sites, &werr)) {
+        // Not fatal: the profile is returned in memory; the next run
+        // rebuilds it. Counted so chaos tests can assert degradation.
+        ++util::fi::counter("cache.store_failed");
+        util::warn("could not write profile cache file %s (%s)",
+                   path.c_str(), werr.c_str());
     }
-    if (!out)
-        util::warn("could not write profile cache file %s",
-                   path.c_str());
     return p;
 }
 

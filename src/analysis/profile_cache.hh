@@ -14,6 +14,7 @@
 #include <string>
 
 #include "analysis/interval_profile.hh"
+#include "util/serialize.hh"
 
 namespace pgss::analysis
 {
@@ -48,6 +49,15 @@ std::vector<std::uint8_t> serializeProfile(const IntervalProfile &p);
 /** Deserialize; @p ok reports malformed input. */
 IntervalProfile
 deserializeProfile(const std::vector<std::uint8_t> &data, bool &ok);
+
+/**
+ * Deserialize with failure classification: Stale for a previous
+ * format version (silent rebuild), Corrupt for damage (the cache file
+ * gets quarantined by loadOrBuild).
+ */
+IntervalProfile
+deserializeProfile(const std::vector<std::uint8_t> &data,
+                   util::ReadError &err);
 
 } // namespace pgss::analysis
 

@@ -2,10 +2,9 @@
 
 #include <atomic>
 #include <csignal>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -15,7 +14,9 @@
 #include "obs/telemetry.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
+#include "util/atomic_file.hh"
 #include "util/env.hh"
+#include "util/fi.hh"
 #include "util/logging.hh"
 
 namespace pgss::obs
@@ -23,6 +24,10 @@ namespace pgss::obs
 
 namespace
 {
+
+// All report-artifact writes (run report JSON, timeline CSV, Perfetto
+// trace) share the "report.*" fault sites.
+util::FileSites report_sites("report");
 
 struct ReportState
 {
@@ -64,15 +69,19 @@ writeReportFile()
     const std::string &path = state().stats_json_path;
     if (path.empty())
         return true;
-    const std::string doc = reportJsonString();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        util::warn("report: cannot write '%s'", path.c_str());
+    // Atomic replace: a reader (or a crash mid-write) never sees a
+    // half-written report, and a previous complete report survives a
+    // failed write.
+    util::AtomicFileWriter out(path, &report_sites);
+    out.write(reportJsonString());
+    out.write("\n");
+    std::string err;
+    if (!out.commit(&err)) {
+        ++util::fi::counter("report.write_failed");
+        util::warn("report: cannot write '%s' (%s)", path.c_str(),
+                   err.c_str());
         return false;
     }
-    std::fputs(doc.c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
     util::inform("report: wrote %s%s", path.c_str(),
                  state().partial ? " (partial)" : "");
     return true;
@@ -89,12 +98,17 @@ writeProfileTrace()
         util::warn("report: --profile-out set but no span profiler");
         return false;
     }
-    std::ofstream out(path);
-    if (!out) {
-        util::warn("report: cannot write '%s'", path.c_str());
+    std::ostringstream doc;
+    prof->writeTraceEventJson(doc);
+    util::AtomicFileWriter out(path, &report_sites);
+    out.write(doc.str());
+    std::string err;
+    if (!out.commit(&err)) {
+        ++util::fi::counter("report.write_failed");
+        util::warn("report: cannot write '%s' (%s)", path.c_str(),
+                   err.c_str());
         return false;
     }
-    prof->writeTraceEventJson(out);
     util::inform("report: wrote %s%s", path.c_str(),
                  state().partial ? " (partial)" : "");
     return true;
@@ -111,12 +125,17 @@ writeTimelineCsv()
         util::warn("report: --timeline-out set but no recorder");
         return false;
     }
-    std::ofstream out(path);
-    if (!out) {
-        util::warn("report: cannot write '%s'", path.c_str());
+    std::ostringstream doc;
+    rec->writeCsv(doc);
+    util::AtomicFileWriter out(path, &report_sites);
+    out.write(doc.str());
+    std::string err;
+    if (!out.commit(&err)) {
+        ++util::fi::counter("report.write_failed");
+        util::warn("report: cannot write '%s' (%s)", path.c_str(),
+                   err.c_str());
         return false;
     }
-    rec->writeCsv(out);
     util::inform("report: wrote %s", path.c_str());
     return true;
 }
@@ -283,9 +302,73 @@ applyObsFlags(const ObsFlags &flags)
 }
 
 void
+registerRobustnessStats()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    // Dotted fault-site names ("ckpt.write") map to a child group per
+    // prefix with two counters per site: how often the site was
+    // evaluated while fault injection was armed, and how often a
+    // fault was actually injected.
+    Group &fi_root = registry().root().child(
+        "fi", "fault-injection site activity (PGSS_FI)");
+    for (util::fi::Site *site : util::fi::sites()) {
+        const std::string full = site->name();
+        const std::size_t dot = full.find('.');
+        Group &g = dot == std::string::npos
+                       ? fi_root
+                       : fi_root.child(full.substr(0, dot));
+        const std::string leaf =
+            dot == std::string::npos ? full : full.substr(dot + 1);
+        g.addCounter(leaf + "_checks",
+                     "times this fault site was evaluated",
+                     [site] { return site->checks(); });
+        g.addCounter(leaf + "_injected",
+                     "faults injected at this site",
+                     [site] { return site->triggers(); });
+    }
+
+    // Degradation counters tick when the robustness machinery absorbs
+    // damage (quarantine, degraded seek, rebuild, failed best-effort
+    // write). Interned eagerly so they report 0 in clean runs instead
+    // of being absent.
+    static const char *const robust_names[] = {
+        "ckpt.quarantined",       "ckpt.load_failed",
+        "ckpt.degraded_seek",     "ckpt.rebuild_fastforward",
+        "ckpt.record_aborted",    "cache.quarantined",
+        "cache.store_failed",     "report.write_failed",
+        "journal.torn_lines",     "net.retries",
+    };
+    for (const char *name : robust_names)
+        util::fi::counter(name);
+    Group &robust = registry().root().child(
+        "robust", "robustness degradation events");
+    for (const auto &[name, value] : util::fi::counters()) {
+        (void)value;
+        const std::size_t dot = name.find('.');
+        Group &g = dot == std::string::npos
+                       ? robust
+                       : robust.child(name.substr(0, dot));
+        const std::string leaf =
+            dot == std::string::npos ? name : name.substr(dot + 1);
+        // counter() hands out references with process lifetime, so
+        // capturing the atomic by pointer is safe across dumps.
+        const std::atomic<std::uint64_t> *c =
+            &util::fi::counter(name);
+        g.addCounter(leaf, "degradation events absorbed",
+                     [c] { return c->load(); });
+    }
+}
+
+void
 initFromCli(int &argc, char **argv, const std::string &program_name)
 {
     state().program = program_name;
+    util::fi::configureFromEnv();
+    registerRobustnessStats();
     const ObsFlags flags = parseObsFlags(argc, argv);
     applyObsFlags(flags);
     installExitHandlers();

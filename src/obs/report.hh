@@ -99,11 +99,22 @@ void applyObsFlags(const ObsFlags &flags);
 
 /**
  * parseObsFlags() + applyObsFlags() + abnormal-exit handlers, and
- * remember @p program_name for the report header. Call once at the
- * top of main().
+ * remember @p program_name for the report header. Also arms fault
+ * injection from PGSS_FI and registers the fault/robustness stats
+ * (registerRobustnessStats()). Call once at the top of main().
  */
 void initFromCli(int &argc, char **argv,
                  const std::string &program_name);
+
+/**
+ * Register every util::fi fault site (per-site check and injection
+ * counters, under "fi.<prefix>.*") and the robustness degradation
+ * counters (under "robust.*" — quarantines, degraded seeks, rebuild
+ * fast-forwards, ...) into registry(), so they flow into run reports
+ * and live /metrics. Idempotent; called by initFromCli(). Binaries
+ * that skip initFromCli() can call it directly.
+ */
+void registerRobustnessStats();
 
 /** Annotate the report's "meta" object (last write per key wins). */
 void setReportMeta(const std::string &key, const std::string &value);

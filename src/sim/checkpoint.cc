@@ -15,18 +15,16 @@ namespace
 
 constexpr std::uint32_t ckpt_magic = 0x5047434b; // "PGCK"
 // v2: delta memory images (mem_delta_/mem_total_words_/delta_pages_).
-constexpr std::uint32_t ckpt_version = 2;
+// v3: CRC-32 seal after each of the four sections (arch, memory,
+//     caches, branch) so corruption is detected before restore.
+constexpr std::uint32_t ckpt_version = 3;
 
 void
 putCacheState(util::BinaryWriter &w, const mem::Cache::State &st)
 {
     w.putU64Vec(st.tags);
-    w.putU64(st.valid.size());
-    for (std::uint8_t v : st.valid)
-        w.putU8(v);
-    w.putU64(st.dirty.size());
-    for (std::uint8_t v : st.dirty)
-        w.putU8(v);
+    w.putU8Vec(st.valid);
+    w.putU8Vec(st.dirty);
     w.putU64Vec(st.stamp);
     w.putU64(st.tick);
 }
@@ -36,14 +34,8 @@ getCacheState(util::BinaryReader &r)
 {
     mem::Cache::State st;
     st.tags = r.getU64Vec();
-    const std::uint64_t nv = r.getU64();
-    st.valid.resize(nv);
-    for (std::uint64_t i = 0; i < nv; ++i)
-        st.valid[i] = r.getU8();
-    const std::uint64_t nd = r.getU64();
-    st.dirty.resize(nd);
-    for (std::uint64_t i = 0; i < nd; ++i)
-        st.dirty[i] = r.getU8();
+    st.valid = r.getU8Vec();
+    st.dirty = r.getU8Vec();
     st.stamp = r.getU64Vec();
     st.tick = r.getU64();
     return st;
@@ -103,33 +95,43 @@ Checkpoint::serialize() const
     w.putU64(retired_);
     w.putU64(ops_since_taken_);
     w.putU64(warm_fetch_line_);
+    w.putSectionCrc(); // arch
     w.putU8(mem_delta_ ? 1 : 0);
     w.putU64(mem_total_words_);
     std::vector<std::uint64_t> pages(delta_pages_.begin(),
                                      delta_pages_.end());
     w.putU64Vec(pages);
     w.putU64Vec(memory_words_);
+    w.putSectionCrc(); // memory
     putCacheState(w, hierarchy_.l1i);
     putCacheState(w, hierarchy_.l1d);
     putCacheState(w, hierarchy_.l2);
-    w.putU64(branch_.predictor.size());
-    for (std::uint8_t v : branch_.predictor)
-        w.putU8(v);
+    w.putSectionCrc(); // caches
+    w.putU8Vec(branch_.predictor);
     w.putU64Vec(branch_.btb.tags);
     w.putU64Vec(branch_.btb.targets);
-    w.putU64(branch_.btb.valid.size());
-    for (std::uint8_t v : branch_.btb.valid)
-        w.putU8(v);
+    w.putU8Vec(branch_.btb.valid);
+    w.putSectionCrc(); // branch
     return w.bytes();
 }
 
 Checkpoint
 Checkpoint::deserialize(const std::vector<std::uint8_t> &data, bool &ok)
 {
+    util::ReadError err;
+    Checkpoint c = deserialize(data, err);
+    ok = err == util::ReadError::None;
+    return c;
+}
+
+Checkpoint
+Checkpoint::deserialize(const std::vector<std::uint8_t> &data,
+                        util::ReadError &err)
+{
     Checkpoint c;
     util::BinaryReader r(data, ckpt_magic, ckpt_version);
     if (!r.ok()) {
-        ok = false;
+        err = r.error();
         return c;
     }
     for (std::uint64_t &reg : c.regs_)
@@ -139,25 +141,23 @@ Checkpoint::deserialize(const std::vector<std::uint8_t> &data, bool &ok)
     c.retired_ = r.getU64();
     c.ops_since_taken_ = r.getU64();
     c.warm_fetch_line_ = r.getU64();
+    r.checkSectionCrc(); // arch
     c.mem_delta_ = r.getU8() != 0;
     c.mem_total_words_ = r.getU64();
     const std::vector<std::uint64_t> pages = r.getU64Vec();
     c.delta_pages_.assign(pages.begin(), pages.end());
     c.memory_words_ = r.getU64Vec();
+    r.checkSectionCrc(); // memory
     c.hierarchy_.l1i = getCacheState(r);
     c.hierarchy_.l1d = getCacheState(r);
     c.hierarchy_.l2 = getCacheState(r);
-    const std::uint64_t np = r.getU64();
-    c.branch_.predictor.resize(np);
-    for (std::uint64_t i = 0; i < np; ++i)
-        c.branch_.predictor[i] = r.getU8();
+    r.checkSectionCrc(); // caches
+    c.branch_.predictor = r.getU8Vec();
     c.branch_.btb.tags = r.getU64Vec();
     c.branch_.btb.targets = r.getU64Vec();
-    const std::uint64_t nb = r.getU64();
-    c.branch_.btb.valid.resize(nb);
-    for (std::uint64_t i = 0; i < nb; ++i)
-        c.branch_.btb.valid[i] = r.getU8();
-    ok = r.ok();
+    c.branch_.btb.valid = r.getU8Vec();
+    r.checkSectionCrc(); // branch
+    err = r.ok() ? util::ReadError::None : util::ReadError::Corrupt;
     return c;
 }
 

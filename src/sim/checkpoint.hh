@@ -29,6 +29,7 @@
 #include "isa/instruction.hh"
 #include "mem/hierarchy.hh"
 #include "timing/branch_unit.hh"
+#include "util/serialize.hh"
 
 namespace pgss::sim
 {
@@ -50,6 +51,14 @@ class Checkpoint
      */
     static Checkpoint deserialize(const std::vector<std::uint8_t> &data,
                                   bool &ok);
+
+    /**
+     * Rebuild from serialized bytes, classifying failures: Stale for
+     * a previous format version (rebuild, don't quarantine), Corrupt
+     * for damage (bad magic, truncation, section CRC mismatch).
+     */
+    static Checkpoint deserialize(const std::vector<std::uint8_t> &data,
+                                  util::ReadError &err);
 
     /** Total instructions retired at capture time. */
     std::uint64_t retired() const { return retired_; }

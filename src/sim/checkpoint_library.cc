@@ -2,10 +2,10 @@
 
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <iterator>
 
 #include "obs/spans.hh"
+#include "util/atomic_file.hh"
+#include "util/fi.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
 
@@ -18,7 +18,15 @@ namespace
 constexpr std::uint32_t meta_magic = 0x50474c42; // "PGLB"
 // v2: full EngineConfig mixed into the identity; per-position
 // checkpoint kinds (full/delta) appended to the metadata.
-constexpr std::uint32_t meta_version = 2;
+// v3: CRC-32 seal over the metadata body (paired with checkpoint v3).
+constexpr std::uint32_t meta_version = 3;
+
+// All checkpoint-library file traffic shares the "ckpt.*" fault
+// sites; ckpt.read corrupts loaded bytes (CRC validation must catch
+// it), ckpt.alloc models allocation failure of the serialized image.
+util::FileSites ckpt_sites("ckpt");
+util::fi::Site ckpt_read("ckpt.read");
+util::fi::Site ckpt_alloc("ckpt.alloc");
 
 /** FNV-1a over program identity (code + data + entry + config). */
 std::uint64_t
@@ -135,22 +143,30 @@ CheckpointLibrary::record(const isa::Program &program,
         // delta chain a seek must resolve; everything between stores
         // only the pages its stride dirtied.
         const bool delta = positions_.size() % full_interval_ != 0;
+        if (ckpt_alloc.shouldFail()) {
+            // Modelled allocation failure of the serialized image:
+            // same consequence as a failed write below.
+            ++util::fi::counter("ckpt.record_aborted");
+            util::warn("checkpoint serialization failed at %llu; "
+                       "stopping the recording pass",
+                       static_cast<unsigned long long>(at));
+            break;
+        }
         const Checkpoint ckpt =
             delta ? engine.checkpointDelta() : engine.checkpoint();
         const auto bytes = ckpt.serialize();
-        std::ofstream out(checkpointPath(at),
-                          std::ios::binary | std::ios::trunc);
-        if (out)
-            out.write(reinterpret_cast<const char *>(bytes.data()),
-                      static_cast<std::streamsize>(bytes.size()));
-        if (!out) {
+        std::string werr;
+        if (!util::atomicWriteFile(checkpointPath(at), bytes.data(),
+                                   bytes.size(), &ckpt_sites, &werr)) {
             // A skipped capture would break the delta chain (its
             // dirty pages are already folded into the engine's
             // cleared baseline), so stop recording here: everything
             // written so far stays consistent.
-            util::warn("could not write checkpoint at %llu; "
+            ++util::fi::counter("ckpt.record_aborted");
+            util::warn("could not write checkpoint at %llu (%s); "
                        "stopping the recording pass",
-                       static_cast<unsigned long long>(at));
+                       static_cast<unsigned long long>(at),
+                       werr.c_str());
             break;
         }
         positions_.push_back(at);
@@ -164,7 +180,8 @@ CheckpointLibrary::record(const isa::Program &program,
     meta.putU64Vec(positions_);
     std::vector<std::uint64_t> kinds(kinds_.begin(), kinds_.end());
     meta.putU64Vec(kinds);
-    if (!meta.writeFile(metaPath()))
+    meta.putSectionCrc();
+    if (!meta.writeFile(metaPath(), &ckpt_sites))
         util::warn("could not write checkpoint library metadata");
     return positions_.size();
 }
@@ -176,7 +193,12 @@ CheckpointLibrary::open(const isa::Program &program,
     identity_ = programIdentity(program, config);
     util::BinaryReader meta = util::BinaryReader::fromFile(
         metaPath(), meta_magic, meta_version);
-    if (!meta.ok())
+    if (meta.error() == util::ReadError::Corrupt) {
+        ++util::fi::counter("ckpt.quarantined");
+        util::quarantineFile(metaPath());
+        return false;
+    }
+    if (!meta.ok()) // missing, or a previous format version
         return false;
     if (meta.getU64() != identity_)
         return false;
@@ -185,29 +207,46 @@ CheckpointLibrary::open(const isa::Program &program,
     positions_ = meta.getU64Vec();
     const std::vector<std::uint64_t> kinds = meta.getU64Vec();
     kinds_.assign(kinds.begin(), kinds.end());
+    meta.checkSectionCrc();
+    if (meta.error() == util::ReadError::Corrupt) {
+        ++util::fi::counter("ckpt.quarantined");
+        util::quarantineFile(metaPath());
+        return false;
+    }
     if (!meta.ok() || full_interval_ == 0 ||
         kinds_.size() != positions_.size())
         return false;
     return true;
 }
 
-Checkpoint
-CheckpointLibrary::loadFile(std::size_t index) const
+bool
+CheckpointLibrary::loadFile(std::size_t index, Checkpoint *out) const
 {
     PGSS_SPAN("checkpoint.load_file", Io);
-    std::ifstream in(checkpointPath(positions_[index]),
-                     std::ios::binary);
-    std::vector<std::uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
-    bool ok = false;
-    Checkpoint ckpt = Checkpoint::deserialize(bytes, ok);
-    util::panicIf(!ok, "corrupt checkpoint in library");
-    return ckpt;
+    const std::string path = checkpointPath(positions_[index]);
+    std::vector<std::uint8_t> bytes;
+    if (!util::readFileBytes(path, bytes)) {
+        ++util::fi::counter("ckpt.load_failed");
+        util::warn("checkpoint missing: %s", path.c_str());
+        return false;
+    }
+    // Injected read corruption lands here, before deserialization, so
+    // it exercises exactly the path a flipped bit on disk would take.
+    ckpt_read.corrupt(bytes);
+    util::ReadError err;
+    *out = Checkpoint::deserialize(bytes, err);
+    if (err == util::ReadError::None)
+        return true;
+    ++util::fi::counter("ckpt.load_failed");
+    if (err == util::ReadError::Corrupt) {
+        ++util::fi::counter("ckpt.quarantined");
+        util::quarantineFile(path);
+    }
+    return false;
 }
 
-Checkpoint
-CheckpointLibrary::loadResolved(std::size_t index) const
+bool
+CheckpointLibrary::loadResolved(std::size_t index, Checkpoint *out) const
 {
     // Walk back to the nearest full image, then roll its delta chain
     // forward through the requested capture. The chain is at most
@@ -215,12 +254,19 @@ CheckpointLibrary::loadResolved(std::size_t index) const
     std::size_t base = index;
     while (base > 0 && isDeltaAt(base))
         --base;
+    // kinds_ comes from CRC-validated metadata, so a chain with no
+    // full base is a recorder logic error, not storage damage.
     util::panicIf(isDeltaAt(base),
                   "checkpoint library chain has no full base");
-    Checkpoint state = loadFile(base);
-    for (std::size_t i = base + 1; i <= index; ++i)
-        Checkpoint::applyDelta(state, loadFile(i));
-    return state;
+    if (!loadFile(base, out))
+        return false;
+    for (std::size_t i = base + 1; i <= index; ++i) {
+        Checkpoint delta;
+        if (!loadFile(i, &delta))
+            return false;
+        Checkpoint::applyDelta(*out, delta);
+    }
+    return true;
 }
 
 SeekResult
@@ -228,9 +274,6 @@ CheckpointLibrary::seekTo(SimulationEngine &engine,
                           std::uint64_t target_op) const
 {
     PGSS_SPAN("checkpoint.seek", Checkpoint);
-    util::panicIf(engine.totalOps() > target_op &&
-                      positions_.empty(),
-                  "cannot seek backwards without checkpoints");
 
     SeekResult res;
 
@@ -247,18 +290,48 @@ CheckpointLibrary::seekTo(SimulationEngine &engine,
         have_best = true;
     }
 
-    // Use the checkpoint only when it beats the engine's current
-    // position (and the engine is not already past the target).
+    // Use a checkpoint only when it beats the engine's current
+    // position (and the engine is not already past the target). When
+    // the preferred checkpoint's chain is corrupt, degrade position
+    // by position: any usable lower checkpoint still beats rebuilding
+    // from scratch, and functional warming from it is bit-identical
+    // to the undamaged seek.
     const std::uint64_t here = engine.totalOps();
     const bool engine_usable = here <= target_op;
     if (have_best && (!engine_usable || best > here)) {
-        engine.restore(loadResolved(best_index));
-        res.restored_at = best;
-        res.from_checkpoint = true;
-    } else {
-        util::panicIf(!engine_usable,
-                      "cannot seek backwards without a suitable "
-                      "checkpoint");
+        bool restored = false;
+        std::size_t tried = 0;
+        for (std::size_t i = best_index + 1; i-- > 0;) {
+            if (engine_usable && positions_[i] <= here)
+                break; // the engine itself is the better start
+            Checkpoint state;
+            ++tried;
+            if (!loadResolved(i, &state))
+                continue;
+            engine.restore(state);
+            res.restored_at = positions_[i];
+            res.from_checkpoint = true;
+            restored = true;
+            break;
+        }
+        if (tried > 1 || (!restored && tried > 0))
+            ++util::fi::counter("ckpt.degraded_seek");
+        if (!restored && !engine_usable) {
+            // Nothing on disk is usable and the engine sits past the
+            // target: rebuild by fast-forwarding a fresh engine. Slow
+            // but exact — the library never turns storage damage into
+            // a crash or a wrong answer.
+            ++util::fi::counter("ckpt.rebuild_fastforward");
+            util::warn("no usable checkpoint at or below %llu; "
+                       "rebuilding from position 0",
+                       static_cast<unsigned long long>(target_op));
+            engine.reset();
+        }
+    } else if (!engine_usable) {
+        ++util::fi::counter("ckpt.rebuild_fastforward");
+        util::warn("seeking backwards without checkpoints; "
+                   "rebuilding from position 0");
+        engine.reset();
     }
 
     const std::uint64_t gap = target_op - engine.totalOps();

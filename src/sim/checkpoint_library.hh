@@ -80,6 +80,16 @@ class CheckpointLibrary
      * Bring @p engine to exactly @p target_op retired instructions:
      * restore the nearest checkpoint at or below the target (if the
      * engine is not already closer) and functionally warm the rest.
+     *
+     * Degrades, never crashes, on storage damage: a checkpoint that
+     * fails its CRC is quarantined (renamed "*.corrupt", counted in
+     * robust.ckpt.quarantined) and the seek falls back to the next
+     * usable position below — or, when nothing on disk is usable and
+     * the engine sits past the target, to an engine reset plus
+     * functional fast-forward from position 0 (the pre-library
+     * behaviour). The result is bit-identical either way; only the
+     * seek cost changes.
+     *
      * @pre engine was constructed on the recorded program/config.
      */
     SeekResult seekTo(SimulationEngine &engine,
@@ -114,8 +124,12 @@ class CheckpointLibrary
   private:
     std::string metaPath() const;
     std::string checkpointPath(std::uint64_t at_op) const;
-    Checkpoint loadFile(std::size_t index) const;
-    Checkpoint loadResolved(std::size_t index) const;
+    /** @return false when the file is missing, stale, or corrupt
+     * (corrupt files are quarantined as a side effect). */
+    bool loadFile(std::size_t index, Checkpoint *out) const;
+    /** Resolve the delta chain ending at @p index. @return false when
+     * any link of the chain failed to load. */
+    bool loadResolved(std::size_t index, Checkpoint *out) const;
     std::uint64_t identity_ = 0;
 
     std::string directory_;

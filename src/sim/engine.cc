@@ -94,6 +94,30 @@ SimulationEngine::SimulationEngine(const isa::Program &program,
 }
 
 void
+SimulationEngine::reset()
+{
+    PGSS_SPAN("engine.reset", Checkpoint);
+    memory_ = std::make_unique<mem::MainMemory>(program_.data_bytes);
+    if (!program_.data_words.empty()) {
+        std::vector<std::uint64_t> image = program_.data_words;
+        image.resize(memory_->words().size(), 0);
+        memory_->setWords(std::move(image));
+    }
+    core_ = std::make_unique<cpu::FunctionalCore>(program_, *memory_);
+    hierarchy_ =
+        std::make_unique<mem::CacheHierarchy>(config_.hierarchy);
+    branch_unit_ =
+        std::make_unique<timing::BranchUnit>(config_.branch);
+    pipeline_ = std::make_unique<timing::InOrderPipeline>(
+        config_.pipeline, *hierarchy_, *branch_unit_);
+    ops_since_taken_ = 0;
+    warm_fetch_line_ = ~0ull;
+    last_was_detailed_ = false;
+    hashed_bbv_.reset();
+    full_bbv_.reset();
+}
+
+void
 SimulationEngine::trackBbv(const cpu::DynInst &rec)
 {
     ++ops_since_taken_;

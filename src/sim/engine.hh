@@ -173,6 +173,16 @@ class SimulationEngine
     void restore(const Checkpoint &ckpt);
 
     /**
+     * Return the engine to its freshly-constructed state at position
+     * 0 (per-mode op accounting is kept — a rebuild's re-executed
+     * instructions are real simulation work). CheckpointLibrary uses
+     * this to fall back to a fast-forward rebuild when every on-disk
+     * checkpoint at or below a seek target is corrupt and the engine
+     * is already past the target.
+     */
+    void reset();
+
+    /**
      * Enable/disable the batched fast-forward fast path (on by
      * default). FunctionalFast mode then falls back to the step()
      * interpreter — only useful for differential testing.

@@ -1,0 +1,178 @@
+#include "util/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace pgss::util
+{
+
+namespace
+{
+
+std::string
+siteName(const char *prefix, const char *op)
+{
+    return std::string(prefix) + "." + op;
+}
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+} // anonymous namespace
+
+FileSites::FileSites(const char *prefix)
+    : open_name(siteName(prefix, "open")),
+      write_name(siteName(prefix, "write")),
+      fsync_name(siteName(prefix, "fsync")),
+      rename_name(siteName(prefix, "rename")), open(open_name.c_str()),
+      write(write_name.c_str()), fsync(fsync_name.c_str()),
+      rename(rename_name.c_str())
+{
+}
+
+FileSites &
+fsSites()
+{
+    static FileSites sites("fs");
+    return sites;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, FileSites *sites)
+    : path_(std::move(path)), sites_(sites ? sites : &fsSites())
+{
+}
+
+void
+AtomicFileWriter::write(const void *data, std::size_t size)
+{
+    buf_.append(static_cast<const char *>(data), size);
+}
+
+void
+AtomicFileWriter::write(const std::string &s)
+{
+    buf_.append(s);
+}
+
+bool
+AtomicFileWriter::commit(std::string *error)
+{
+    auto fail = [&](const std::string &what,
+                    const std::string &tmp) -> bool {
+        if (!tmp.empty())
+            ::unlink(tmp.c_str());
+        if (error)
+            *error = what;
+        return false;
+    };
+    if (committed_)
+        return fail("commit() called twice for " + path_, "");
+    committed_ = true;
+
+    // The temp name carries the pid so concurrent writers of the same
+    // destination (parallel bench workers, a crashed predecessor's
+    // leftovers) never collide; the rename at the end is the only
+    // globally visible step.
+    const std::string tmp =
+        path_ + ".tmp." + std::to_string(::getpid());
+
+    if (sites_->open.shouldFail())
+        return fail("injected open fault for " + tmp, "");
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return fail("cannot open " + tmp + ": " + errnoString(), "");
+
+    std::size_t done = 0;
+    bool write_ok = !sites_->write.shouldFail();
+    while (write_ok && done < buf_.size()) {
+        const ::ssize_t n =
+            ::write(fd, buf_.data() + done, buf_.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            write_ok = false;
+            break;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (!write_ok) {
+        ::close(fd);
+        return fail("cannot write " + tmp + " (" +
+                        (errno ? errnoString() : "injected fault") +
+                        ")",
+                    tmp);
+    }
+
+    // fsync before rename: the rename must never become visible
+    // pointing at data the kernel has not persisted.
+    if (sites_->fsync.shouldFail() || ::fsync(fd) != 0) {
+        ::close(fd);
+        return fail("cannot fsync " + tmp, tmp);
+    }
+    if (::close(fd) != 0)
+        return fail("cannot close " + tmp, tmp);
+
+    if (sites_->rename.shouldFail() ||
+        std::rename(tmp.c_str(), path_.c_str()) != 0)
+        return fail("cannot rename " + tmp + " -> " + path_, tmp);
+    return true;
+}
+
+bool
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t size, FileSites *sites, std::string *error)
+{
+    AtomicFileWriter w(path, sites);
+    w.write(data, size);
+    return w.commit(error);
+}
+
+bool
+readFileBytes(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    in.seekg(0, std::ios::end);
+    const auto size = in.tellg();
+    if (size < 0)
+        return false;
+    in.seekg(0, std::ios::beg);
+    out.resize(static_cast<std::size_t>(size));
+    if (size > 0)
+        in.read(reinterpret_cast<char *>(out.data()), size);
+    if (!in) {
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
+bool
+quarantineFile(const std::string &path)
+{
+    const std::string dest = path + ".corrupt";
+    ::unlink(dest.c_str());
+    if (std::rename(path.c_str(), dest.c_str()) != 0) {
+        util::warn("could not quarantine %s", path.c_str());
+        return false;
+    }
+    util::warn("quarantined corrupt artifact: %s", dest.c_str());
+    return true;
+}
+
+} // namespace pgss::util

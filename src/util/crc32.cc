@@ -1,0 +1,51 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace pgss::util
+{
+
+namespace
+{
+
+/** Byte-at-a-time table for the reflected 0xedb88320 polynomial. */
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const std::array<std::uint32_t, 256> t = makeTable();
+    return t;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    const auto &t = table();
+    std::uint32_t c = crc ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    return crc32Update(0, data, size);
+}
+
+} // namespace pgss::util

@@ -1,0 +1,96 @@
+#include "util/journal.hh"
+
+#include <cerrno>
+#include <fstream>
+#include <iterator>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/fi.hh"
+#include "util/logging.hh"
+
+namespace pgss::util
+{
+
+namespace
+{
+fi::Site fi_append("journal.append");
+} // anonymous namespace
+
+Journal::Journal(std::string path) : path_(std::move(path)) {}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Journal::append(const std::string &line)
+{
+    if (fi_append.shouldFail())
+        return false;
+    if (fd_ < 0) {
+        fd_ = ::open(path_.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+        if (fd_ < 0) {
+            util::warn("journal: cannot open %s", path_.c_str());
+            return false;
+        }
+    }
+    // One write() of the whole framed line: O_APPEND makes the offset
+    // pick atomic, and a single write of a reasonable size is not
+    // interleaved with other appenders.
+    const std::string framed = line + "\n";
+    std::size_t done = 0;
+    while (done < framed.size()) {
+        const ::ssize_t n = ::write(fd_, framed.data() + done,
+                                    framed.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            util::warn("journal: write to %s failed", path_.c_str());
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+        util::warn("journal: fsync of %s failed", path_.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Journal::readLines(const std::string &path,
+                   std::vector<std::string> &out, std::size_t *torn)
+{
+    out.clear();
+    if (torn)
+        *torn = 0;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return true; // no journal yet: legitimately empty
+
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos) {
+            // Torn trailing line: a crash interrupted the append.
+            if (torn)
+                ++*torn;
+            ++fi::counter("journal.torn_lines");
+            util::warn("journal: dropping torn trailing line in %s",
+                       path.c_str());
+            break;
+        }
+        out.push_back(content.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return true;
+}
+
+} // namespace pgss::util

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Append-only completion journal with crash-safe appends (DESIGN.md
+ * section 13). Each append is one write() of a complete line to an
+ * O_APPEND descriptor followed by fsync, so a crash — even SIGKILL —
+ * can lose at most the line being written, never corrupt earlier
+ * lines. readLines() drops an unterminated trailing line (torn by a
+ * crash) and reports it, so consumers only ever see whole records.
+ *
+ * The bench harness journals one JSONL record per completed suite
+ * entry; `--resume` replays the journal to skip finished work.
+ */
+
+#ifndef PGSS_UTIL_JOURNAL_HH
+#define PGSS_UTIL_JOURNAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pgss::util
+{
+
+class Journal
+{
+  public:
+    /** Journal at @p path; the file is created on first append. */
+    explicit Journal(std::string path);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Append @p line (which must not contain '\n') plus a newline,
+     * durably. @return false on any failure (real or injected via the
+     * "journal.append" fault site); the journal stays usable.
+     */
+    bool append(const std::string &line);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Read every complete line of the journal at @p path into @p out.
+     * A missing file yields true with no lines (an empty journal). An
+     * unterminated trailing line is dropped and counted in
+     * @p *torn.
+     */
+    static bool readLines(const std::string &path,
+                          std::vector<std::string> &out,
+                          std::size_t *torn = nullptr);
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+} // namespace pgss::util
+
+#endif // PGSS_UTIL_JOURNAL_HH

@@ -8,13 +8,21 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "util/fi.hh"
 #include "util/logging.hh"
 
 namespace pgss::util::net
 {
+
+namespace
+{
+/** Chaos schedules can fail client connects without a dead server. */
+fi::Site net_connect("net.connect");
+} // anonymous namespace
 
 namespace
 {
@@ -334,6 +342,12 @@ httpGet(const std::string &host, std::uint16_t port,
         const std::string &target, HttpResponse *out,
         std::string *error, int timeout_ms)
 {
+    if (net_connect.shouldFail()) {
+        if (error)
+            *error = "injected connect fault (net.connect)";
+        return false;
+    }
+
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
@@ -410,6 +424,43 @@ httpGet(const std::string &host, std::uint16_t port,
         out->content_type = raw.substr(ct + 14, eol - ct - 14);
     }
     return true;
+}
+
+bool
+httpGetRetry(const std::string &host, std::uint16_t port,
+             const std::string &target, HttpResponse *out,
+             const RetryPolicy &policy, std::string *error,
+             int timeout_ms)
+{
+    const int attempts = std::max(policy.attempts, 1);
+    // splitmix64 over (seed, attempt) — deterministic jitter, no
+    // shared RNG state between concurrent callers.
+    std::uint64_t z = policy.jitter_seed;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (httpGet(host, port, target, out, error, timeout_ms))
+            return true;
+        if (attempt + 1 == attempts)
+            break;
+        ++fi::counter("net.retries");
+        z += 0x9e3779b97f4a7c15ull;
+        std::uint64_t x = z;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        // Exponential base delay, scaled into [0.5, 1.0) so retries
+        // from parallel clients spread out instead of stampeding.
+        const double jitter =
+            0.5 + 0.5 * (static_cast<double>(x >> 11) * 0x1.0p-53);
+        const double base =
+            static_cast<double>(policy.base_delay_ms) *
+            static_cast<double>(1ull << std::min(attempt, 20));
+        const int delay_ms = static_cast<int>(
+            std::min(base * jitter,
+                     static_cast<double>(policy.max_delay_ms)));
+        if (delay_ms > 0)
+            ::usleep(static_cast<useconds_t>(delay_ms) * 1000);
+    }
+    return false;
 }
 
 } // namespace pgss::util::net

@@ -132,11 +132,35 @@ class HttpServer
  * Blocking GET of http://@p host:@p port@p target with a @p
  * timeout_ms connect/receive budget. @return false with @p *error set
  * on connect/transport failure; an HTTP error status is a *successful*
- * fetch (inspect @p out->status).
+ * fetch (inspect @p out->status). The "net.connect" fault site can
+ * inject connect failures.
  */
 bool httpGet(const std::string &host, std::uint16_t port,
              const std::string &target, HttpResponse *out,
              std::string *error = nullptr, int timeout_ms = 5000);
+
+/** Bounded-retry schedule for httpGetRetry(). */
+struct RetryPolicy
+{
+    int attempts = 3;          ///< total tries (>= 1)
+    int base_delay_ms = 100;   ///< backoff before the first retry
+    int max_delay_ms = 2000;   ///< backoff ceiling
+    /** Jitter stream seed; fixed default keeps runs reproducible. */
+    std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/**
+ * httpGet() with bounded retries under jittered exponential backoff
+ * (delay doubles per attempt, scaled by a deterministic jitter in
+ * [0.5, 1.0), capped at max_delay_ms) — for transient conditions like
+ * polling a server that is still binding its port. Each retry ticks
+ * the "net.retries" robustness counter. @return the final attempt's
+ * result; @p *error holds the last failure.
+ */
+bool httpGetRetry(const std::string &host, std::uint16_t port,
+                  const std::string &target, HttpResponse *out,
+                  const RetryPolicy &policy = {},
+                  std::string *error = nullptr, int timeout_ms = 5000);
 
 } // namespace pgss::util::net
 

@@ -1,9 +1,9 @@
 #include "util/serialize.hh"
 
 #include <cstring>
-#include <fstream>
 
-#include "util/logging.hh"
+#include "util/atomic_file.hh"
+#include "util/crc32.hh"
 
 namespace pgss::util
 {
@@ -71,15 +71,26 @@ BinaryWriter::putU64Vec(const std::vector<std::uint64_t> &v)
         putU64(u);
 }
 
-bool
-BinaryWriter::writeFile(const std::string &path) const
+void
+BinaryWriter::putU8Vec(const std::vector<std::uint8_t> &v)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-    out.write(reinterpret_cast<const char *>(buf_.data()),
-              static_cast<std::streamsize>(buf_.size()));
-    return static_cast<bool>(out);
+    putU64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void
+BinaryWriter::putSectionCrc()
+{
+    const std::uint32_t crc =
+        crc32(buf_.data() + section_start_, buf_.size() - section_start_);
+    putU32(crc);
+    section_start_ = buf_.size();
+}
+
+bool
+BinaryWriter::writeFile(const std::string &path, FileSites *sites) const
+{
+    return atomicWriteFile(path, buf_.data(), buf_.size(), sites);
 }
 
 BinaryReader::BinaryReader(std::vector<std::uint8_t> data,
@@ -87,27 +98,29 @@ BinaryReader::BinaryReader(std::vector<std::uint8_t> data,
     : buf_(std::move(data))
 {
     if (buf_.size() < 8) {
-        ok_ = false;
+        markCorrupt();
         return;
     }
-    if (getU32() != magic || getU32() != version)
-        ok_ = false;
+    if (getU32() != magic) {
+        markCorrupt();
+        return;
+    }
+    // Right magic but another version is a legitimately old artifact
+    // from a previous build, not damage: callers treat it as a cache
+    // miss, never quarantine it.
+    if (getU32() != version)
+        error_ = ReadError::Stale;
 }
 
 BinaryReader
 BinaryReader::fromFile(const std::string &path, std::uint32_t magic,
                        std::uint32_t version)
 {
-    std::ifstream in(path, std::ios::binary);
     std::vector<std::uint8_t> data;
-    if (in) {
-        in.seekg(0, std::ios::end);
-        const auto size = in.tellg();
-        in.seekg(0, std::ios::beg);
-        data.resize(static_cast<std::size_t>(size));
-        in.read(reinterpret_cast<char *>(data.data()), size);
-        if (!in)
-            data.clear();
+    if (!readFileBytes(path, data)) {
+        BinaryReader r(std::move(data), magic, version);
+        r.error_ = ReadError::Missing;
+        return r;
     }
     return BinaryReader(std::move(data), magic, version);
 }
@@ -115,8 +128,9 @@ BinaryReader::fromFile(const std::string &path, std::uint32_t magic,
 bool
 BinaryReader::need(std::size_t n)
 {
-    if (pos_ + n > buf_.size()) {
-        ok_ = false;
+    if (error_ != ReadError::None || n > buf_.size() - pos_) {
+        if (error_ == ReadError::None)
+            markCorrupt();
         return false;
     }
     return true;
@@ -171,8 +185,13 @@ std::string
 BinaryReader::getString()
 {
     std::uint64_t n = getU64();
-    if (!need(n))
+    // A corrupt length can exceed size_t on 32-bit targets or the
+    // remaining bytes on any target; clamp before need() so nothing
+    // ever allocates from an unvalidated count.
+    if (!ok() || n > buf_.size() - pos_) {
+        markCorrupt();
         return {};
+    }
     std::string s(reinterpret_cast<const char *>(buf_.data() + pos_),
                   static_cast<std::size_t>(n));
     pos_ += static_cast<std::size_t>(n);
@@ -184,8 +203,12 @@ BinaryReader::getDoubleVec()
 {
     std::uint64_t n = getU64();
     std::vector<double> v;
-    if (!need(n * 8))
+    // Validate against remaining bytes before reserving: `n * 8` can
+    // wrap for a corrupt count and would pass a naive bound check.
+    if (!ok() || n > (buf_.size() - pos_) / 8) {
+        markCorrupt();
         return v;
+    }
     v.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i)
         v.push_back(getDouble());
@@ -197,12 +220,45 @@ BinaryReader::getU64Vec()
 {
     std::uint64_t n = getU64();
     std::vector<std::uint64_t> v;
-    if (!need(n * 8))
+    if (!ok() || n > (buf_.size() - pos_) / 8) {
+        markCorrupt();
         return v;
+    }
     v.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i)
         v.push_back(getU64());
     return v;
+}
+
+std::vector<std::uint8_t>
+BinaryReader::getU8Vec()
+{
+    std::uint64_t n = getU64();
+    std::vector<std::uint8_t> v;
+    if (!ok() || n > buf_.size() - pos_) {
+        markCorrupt();
+        return v;
+    }
+    v.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return v;
+}
+
+bool
+BinaryReader::checkSectionCrc()
+{
+    if (error_ != ReadError::None)
+        return false;
+    const std::uint32_t want =
+        crc32(buf_.data() + section_start_, pos_ - section_start_);
+    const std::uint32_t got = getU32();
+    if (error_ != ReadError::None || got != want) {
+        markCorrupt();
+        return false;
+    }
+    section_start_ = pos_;
+    return true;
 }
 
 } // namespace pgss::util

@@ -2,7 +2,12 @@
  * @file
  * Tiny binary serialization layer used by checkpoints and the interval
  * profile cache. Little-endian, length-prefixed, with a magic/version
- * header validated on load.
+ * header validated on load and optional CRC-32-sealed sections
+ * (DESIGN.md section 13): putSectionCrc() appends the CRC of every
+ * byte since the previous seal, and checkSectionCrc() on the reader
+ * verifies it — so truncation and bit corruption of a persisted
+ * artifact are detected deterministically instead of deserializing
+ * into garbage.
  */
 
 #ifndef PGSS_UTIL_SERIALIZE_HH
@@ -14,6 +19,18 @@
 
 namespace pgss::util
 {
+
+struct FileSites;
+
+/** Why a BinaryReader is not ok(). Drives quarantine decisions:
+ * Corrupt artifacts are quarantined; Stale ones silently rebuilt. */
+enum class ReadError : std::uint8_t
+{
+    None,    ///< ok() is true
+    Missing, ///< file absent (fromFile only)
+    Stale,   ///< right magic, different version (old cache entry)
+    Corrupt, ///< wrong magic, truncation, or CRC mismatch
+};
 
 /** Append-only binary encoder. */
 class BinaryWriter
@@ -30,21 +47,39 @@ class BinaryWriter
     void putString(const std::string &s);
     void putDoubleVec(const std::vector<double> &v);
     void putU64Vec(const std::vector<std::uint64_t> &v);
+    void putU8Vec(const std::vector<std::uint8_t> &v);
+
+    /**
+     * Seal the bytes appended since the previous seal (or the stream
+     * start, header included) with their CRC-32. The matching
+     * BinaryReader::checkSectionCrc() must be called at the same
+     * point in the read sequence.
+     */
+    void putSectionCrc();
 
     /** The encoded bytes (header included). */
     const std::vector<std::uint8_t> &bytes() const { return buf_; }
 
-    /** Write the encoded bytes to @p path. @return false on I/O error. */
-    bool writeFile(const std::string &path) const;
+    /**
+     * Write the encoded bytes to @p path atomically (temp file +
+     * fsync + rename; see util::AtomicFileWriter). @p sites selects
+     * the fault-injection sites checked ("fs.*" by default).
+     * @return false on I/O error or injected fault.
+     */
+    bool writeFile(const std::string &path,
+                   FileSites *sites = nullptr) const;
 
   private:
     std::vector<std::uint8_t> buf_;
+    std::size_t section_start_ = 0;
 };
 
 /**
- * Sequential binary decoder matching BinaryWriter. All getters throw
- * via panic() on truncated input; header mismatch is reported through
- * ok() so callers can treat a stale cache file as a miss.
+ * Sequential binary decoder matching BinaryWriter. Truncated input,
+ * header mismatch, and section-CRC mismatch are all reported through
+ * ok()/error(); reads past the end return zero values. Callers decide
+ * per error() whether a bad file is a cache miss (Stale) or damage to
+ * quarantine (Corrupt).
  */
 class BinaryReader
 {
@@ -59,7 +94,10 @@ class BinaryReader
                                  std::uint32_t version);
 
     /** True when the header matched and no read overran the buffer. */
-    bool ok() const { return ok_; }
+    bool ok() const { return error_ == ReadError::None; }
+
+    /** Failure classification (None while ok()). */
+    ReadError error() const { return error_; }
 
     std::uint8_t getU8();
     std::uint32_t getU32();
@@ -69,16 +107,26 @@ class BinaryReader
     std::string getString();
     std::vector<double> getDoubleVec();
     std::vector<std::uint64_t> getU64Vec();
+    std::vector<std::uint8_t> getU8Vec();
+
+    /**
+     * Verify the CRC-32 seal of the bytes consumed since the previous
+     * check (or the stream start). Mismatch marks the stream Corrupt.
+     * @return true when the seal verified.
+     */
+    bool checkSectionCrc();
 
     /** True when every byte has been consumed. */
     bool atEnd() const { return pos_ == buf_.size(); }
 
   private:
     bool need(std::size_t n);
+    void markCorrupt() { error_ = ReadError::Corrupt; }
 
     std::vector<std::uint8_t> buf_;
     std::size_t pos_ = 0;
-    bool ok_ = true;
+    std::size_t section_start_ = 0;
+    ReadError error_ = ReadError::None;
 };
 
 } // namespace pgss::util

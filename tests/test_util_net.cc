@@ -17,6 +17,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/fi.hh"
 #include "util/net/http.hh"
 
 using namespace pgss::util::net;
@@ -213,6 +214,82 @@ TEST(HttpClient, ConnectRefusedFails)
     HttpResponse resp;
     EXPECT_FALSE(httpGet("127.0.0.1", dead, "/", &resp, &err));
     EXPECT_FALSE(err.empty());
+}
+
+TEST(HttpClient, InjectedConnectFaultFails)
+{
+    HttpServer server;
+    server.handle("/ok", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "fine";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+
+    pgss::util::fi::reset();
+    ASSERT_TRUE(pgss::util::fi::configure(
+        "site=net.connect,mode=fail-nth:1"));
+    HttpResponse resp;
+    // First attempt eats the injected fault, second reaches the
+    // (healthy) server.
+    EXPECT_FALSE(
+        httpGet("127.0.0.1", server.port(), "/ok", &resp, &err));
+    EXPECT_NE(err.find("injected"), std::string::npos);
+    EXPECT_TRUE(
+        httpGet("127.0.0.1", server.port(), "/ok", &resp, &err));
+    EXPECT_EQ(resp.body, "fine");
+    pgss::util::fi::reset();
+    server.stop();
+}
+
+TEST(HttpClient, RetrySurvivesTransientFaults)
+{
+    HttpServer server;
+    server.handle("/ok", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "eventually";
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, &err)) << err;
+
+    pgss::util::fi::reset();
+    // The first attempt eats an injected connect failure; the retry
+    // reaches the healthy server.
+    ASSERT_TRUE(pgss::util::fi::configure(
+        "site=net.connect,mode=fail-nth:1"));
+    RetryPolicy quick;
+    quick.attempts = 3;
+    quick.base_delay_ms = 1;
+    HttpResponse resp;
+    EXPECT_TRUE(httpGetRetry("127.0.0.1", server.port(), "/ok", &resp,
+                             quick, &err));
+    EXPECT_EQ(resp.body, "eventually");
+    EXPECT_GE(pgss::util::fi::counter("net.retries")
+                  .load(std::memory_order_relaxed),
+              1u);
+    pgss::util::fi::reset();
+    server.stop();
+}
+
+TEST(HttpClient, RetryGivesUpAfterBoundedAttempts)
+{
+    pgss::util::fi::reset();
+    ASSERT_TRUE(pgss::util::fi::configure(
+        "site=net.connect,mode=fail-always"));
+    RetryPolicy quick;
+    quick.attempts = 3;
+    quick.base_delay_ms = 1;
+    HttpResponse resp;
+    std::string err;
+    EXPECT_FALSE(httpGetRetry("127.0.0.1", 1, "/x", &resp, quick,
+                              &err));
+    // 3 attempts = 2 retries; bounded, no infinite loop.
+    EXPECT_EQ(pgss::util::fi::counter("net.retries")
+                  .load(std::memory_order_relaxed),
+              2u);
+    pgss::util::fi::reset();
 }
 
 } // namespace

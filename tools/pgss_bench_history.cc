@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/analyze.hh"
+#include "util/atomic_file.hh"
 #include "util/table.hh"
 
 namespace
@@ -110,11 +111,11 @@ cmdSnapshot(const std::string &report_path,
         label = labelFromPath(out_path);
     const std::string doc =
         pgss::obs::benchSnapshotFromReport(report, label);
-    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-    out << doc;
-    if (!out) {
+    std::string err;
+    if (!pgss::util::atomicWriteFile(out_path, doc.data(), doc.size(),
+                                     nullptr, &err)) {
         std::cerr << "pgss_bench_history: cannot write '" << out_path
-                  << "'\n";
+                  << "' (" << err << ")\n";
         return 1;
     }
     std::cout << "wrote " << out_path << " (label " << label

@@ -212,9 +212,15 @@ main(int argc, char **argv)
     for (;;) {
         pgss::util::net::HttpResponse resp;
         std::string err;
-        const bool got = pgss::util::net::httpGet(
+        // First contact retries with backoff: pgss_top is routinely
+        // launched moments before the run binds its port. Once
+        // connected, a single failed poll means the run finished.
+        pgss::util::net::RetryPolicy retry;
+        retry.attempts = ever_connected ? 1 : 5;
+        retry.base_delay_ms = 200;
+        const bool got = pgss::util::net::httpGetRetry(
             host, static_cast<std::uint16_t>(port), "/status", &resp,
-            &err);
+            retry, &err);
         if (!got || resp.status != 200) {
             if (once || !ever_connected) {
                 std::cerr << "pgss_top: no /status from " << host
