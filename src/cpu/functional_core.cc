@@ -1,5 +1,6 @@
 #include "cpu/functional_core.hh"
 
+#include "obs/spans.hh"
 #include "util/logging.hh"
 
 namespace pgss::cpu
@@ -179,6 +180,7 @@ FunctionalCore::step(DynInst &rec)
 void
 FunctionalCore::buildFastTable()
 {
+    PGSS_SPAN("cpu.decode", Decode);
     fast_table_.clear();
     fast_table_.reserve(program_.code.size());
     for (const isa::Instruction &inst : program_.code) {

@@ -1,0 +1,374 @@
+#include "cpu/superblock.hh"
+
+#include "obs/spans.hh"
+#include "progcheck/cfg.hh"
+#include "util/logging.hh"
+
+namespace pgss::cpu
+{
+
+namespace
+{
+
+/** TKind for an interior (non-control) instruction. */
+TKind
+plainKind(isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::Add: return TKind::Add;
+      case Opcode::Sub: return TKind::Sub;
+      case Opcode::And: return TKind::And;
+      case Opcode::Or: return TKind::Or;
+      case Opcode::Xor: return TKind::Xor;
+      case Opcode::Sll: return TKind::Sll;
+      case Opcode::Srl: return TKind::Srl;
+      case Opcode::Sra: return TKind::Sra;
+      case Opcode::Slt: return TKind::Slt;
+      case Opcode::Addi: return TKind::Addi;
+      case Opcode::Andi: return TKind::Andi;
+      case Opcode::Ori: return TKind::Ori;
+      case Opcode::Xori: return TKind::Xori;
+      case Opcode::Slti: return TKind::Slti;
+      case Opcode::Lui: return TKind::Lui;
+      case Opcode::Mul: return TKind::Mul;
+      case Opcode::Div: return TKind::Div;
+      case Opcode::Fadd: return TKind::Fadd;
+      case Opcode::Fmul: return TKind::Fmul;
+      case Opcode::Fdiv: return TKind::Fdiv;
+      case Opcode::Ld: return TKind::Ld;
+      case Opcode::St: return TKind::St;
+      case Opcode::Nop: return TKind::Nop;
+      default:
+        util::panic("control opcode in superblock interior");
+    }
+}
+
+/** TKind for an interior conditional branch (taken = side exit). */
+TKind
+condKind(isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::Beq: return TKind::CondBeq;
+      case Opcode::Bne: return TKind::CondBne;
+      case Opcode::Blt: return TKind::CondBlt;
+      case Opcode::Bge: return TKind::CondBge;
+      default:
+        util::panic("non-branch opcode in condKind");
+    }
+}
+
+/** TKind for an inverted conditional branch (not-taken = side exit,
+ *  taken continues inside the trace). */
+TKind
+condInKind(isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::Beq: return TKind::CondInBeq;
+      case Opcode::Bne: return TKind::CondInBne;
+      case Opcode::Blt: return TKind::CondInBlt;
+      case Opcode::Bge: return TKind::CondInBge;
+      default:
+        util::panic("non-branch opcode in condInKind");
+    }
+}
+
+/** TKind for a forward branch patched into an in-trace skip. */
+TKind
+condSkipKind(isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::Beq: return TKind::CondSkipBeq;
+      case Opcode::Bne: return TKind::CondSkipBne;
+      case Opcode::Blt: return TKind::CondSkipBlt;
+      case Opcode::Bge: return TKind::CondSkipBge;
+      default:
+        util::panic("non-branch opcode in condSkipKind");
+    }
+}
+
+/** Fused superinstruction kind for adjacent (@p a, @p b), or the
+ *  kind_count_ sentinel when the pair is not in PGSS_TC_PAIR_LIST. */
+TKind
+fusedKind(TKind a, TKind b)
+{
+#define PGSS_TC_PAIR_FUSE(x, y)                                        \
+    if (a == TKind::x && b == TKind::y)                                \
+        return TKind::F_##x##_##y;
+    PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_FUSE)
+#undef PGSS_TC_PAIR_FUSE
+    return TKind::kind_count_;
+}
+
+/** Base TOp for the instruction at @p pc (r0 write remapped). */
+TOp
+baseOp(const isa::Instruction &inst, std::uint32_t pc)
+{
+    TOp t{};
+    t.imm = inst.imm;
+    t.pc = pc;
+    t.target = no_trace;
+    t.rd = inst.rd == isa::reg_zero
+               ? static_cast<std::uint8_t>(isa::num_regs)
+               : inst.rd;
+    t.rs1 = inst.rs1;
+    t.rs2 = inst.rs2;
+    return t;
+}
+
+} // namespace
+
+SuperblockSet
+formSuperblocks(const isa::Program &program,
+                const SuperblockConfig &config)
+{
+    PGSS_SPAN("superblock.form", TraceForm);
+    using isa::Opcode;
+
+    const progcheck::Cfg cfg = progcheck::buildCfg(program);
+    const std::uint32_t code_size =
+        static_cast<std::uint32_t>(program.code.size());
+    const std::uint32_t nblocks =
+        static_cast<std::uint32_t>(cfg.blocks.size());
+
+    SuperblockSet sb;
+    sb.config = config;
+    sb.trace_head.assign(code_size, no_trace);
+    sb.block_last.resize(code_size);
+    for (std::uint32_t pc = 0; pc < code_size; ++pc)
+        sb.block_last[pc] = cfg.blocks[cfg.block_of[pc]].last;
+
+    sb.traces.resize(nblocks);
+    // A rough upper bound: every block appears in its own trace plus
+    // on average a few extensions; formation is one-shot so a little
+    // slack beats reallocation churn.
+    sb.pool.reserve(static_cast<std::size_t>(code_size) * 4);
+
+    // Forward side exits (slot, taken pc) still unresolved in the
+    // trace being formed: when the taken target later arrives as a
+    // block of this same trace with only plain ops in between, the
+    // branch is patched into an in-trace skip.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pending;
+
+    for (std::uint32_t b0 = 0; b0 < nblocks; ++b0) {
+        Trace &tr = sb.traces[b0];
+        tr.first = static_cast<std::uint32_t>(sb.pool.size());
+        pending.clear(); // unresolved exits never span traces
+
+        std::uint32_t ops = 0;     // real instructions emitted (cum)
+        std::uint32_t sinceop = 0; // ops since last reset point (aux)
+        std::uint32_t b = b0;
+        // Arrival via an in-trace taken edge (inverted latch, JalIn):
+        // the op budget was already checked at the transfer site.
+        bool via_taken = false;
+
+        // Close the trace with the zero-instruction fall-through
+        // pseudo-op into @p next_pc (no_trace target when the pc runs
+        // off the program, matching the interpreter's panic-on-next).
+        const auto emitFallExit = [&](std::uint32_t next_pc) {
+            TOp t{};
+            t.kind = TKind::FallExit;
+            t.imm = next_pc;
+            t.pc = next_pc;
+            t.cum = ops;
+            t.aux = sinceop;
+            t.target = next_pc < code_size ? cfg.block_of[next_pc]
+                                           : no_trace;
+            t.rd = static_cast<std::uint8_t>(isa::num_regs);
+            sb.pool.push_back(t);
+        };
+
+        for (;;) {
+            // Budget guard; the entry block always goes in whole
+            // (ops == 0), so even an oversized block gets a trace.
+            // The budget alone bounds formation — every placed block
+            // adds at least one op — so a loop body spanning several
+            // blocks re-enters them freely (fall-through or taken)
+            // and unrolls until the cap, not just one iteration.
+            if (!via_taken && ops > 0 &&
+                ops + cfg.blocks[b].size() > config.max_ops) {
+                emitFallExit(cfg.blocks[b].first);
+                break;
+            }
+            via_taken = false;
+
+            // Skip-conversion: a pending forward branch whose taken
+            // target is this very arrival can stay inside the trace —
+            // taken hops over the in-between slots instead of exiting.
+            // Only plain ops may be skipped: any control op in between
+            // would put the static cum/aux bookkeeping in a different
+            // reset frame than the runtime skip correction assumes.
+            if (!pending.empty()) {
+                const auto here = static_cast<std::uint32_t>(
+                    sb.pool.size());
+                const std::uint32_t lead = cfg.blocks[b].first;
+                for (std::size_t i = 0; i < pending.size();) {
+                    if (pending[i].second != lead) {
+                        ++i;
+                        continue;
+                    }
+                    const std::uint32_t slot = pending[i].first;
+                    bool plain = true;
+                    for (std::uint32_t j = slot + 1; j < here; ++j)
+                        plain &= sb.pool[j].kind <= TKind::Nop;
+                    if (plain) {
+                        TOp &br = sb.pool[slot];
+                        br.kind = condSkipKind(program.code[br.pc].op);
+                        br.target = here - slot;
+                    }
+                    pending.erase(pending.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                }
+            }
+
+            const std::uint32_t first = cfg.blocks[b].first;
+            const std::uint32_t last = cfg.blocks[b].last;
+            bool closed = false;
+            for (std::uint32_t pc = first; pc <= last; ++pc) {
+                const isa::Instruction &inst = program.code[pc];
+                TOp t = baseOp(inst, pc);
+                ++ops;
+                ++sinceop;
+                t.cum = ops;
+                t.aux = sinceop;
+
+                if (pc < last) {
+                    // Interior of a basic block: control transfers
+                    // only ever terminate blocks.
+                    t.kind = plainKind(inst.op);
+                    sb.pool.push_back(t);
+                    continue;
+                }
+
+                switch (inst.op) {
+                  case Opcode::Beq:
+                  case Opcode::Bne:
+                  case Opcode::Blt:
+                  case Opcode::Bge: {
+                    const std::uint32_t tpc =
+                        static_cast<std::uint32_t>(inst.imm);
+                    const std::uint32_t tgt_b = cfg.block_of[tpc];
+                    if (tpc <= pc && ops + cfg.blocks[tgt_b].size() <=
+                                         config.max_ops) {
+                        // Backward branch: the Ball-Larus likely
+                        // direction is taken (a loop latch), so the
+                        // trace continues through the taken edge —
+                        // unrolling the loop in place — and the
+                        // not-taken edge becomes the side exit. Like
+                        // any in-trace taken transfer, the latch
+                        // resets the ops-since-taken origin.
+                        t.kind = condInKind(inst.op);
+                        t.imm = pc + 1; // side exit: fall-through
+                        t.target = pc + 1 < code_size
+                                       ? cfg.block_of[pc + 1]
+                                       : no_trace;
+                        sb.pool.push_back(t);
+                        sinceop = 0;
+                        b = tgt_b;
+                        via_taken = true;
+                        closed = true; // leaves the pc loop only
+                    } else {
+                        // Forward (or oversized) branch: taken edge
+                        // becomes a side exit chained to the target's
+                        // own trace; not-taken falls through. A
+                        // forward exit may later be patched into an
+                        // in-trace skip if its target arrives in this
+                        // trace (see the fixup pass above).
+                        t.kind = condKind(inst.op);
+                        t.target = tgt_b;
+                        sb.pool.push_back(t);
+                        if (tpc > pc)
+                            pending.emplace_back(
+                                static_cast<std::uint32_t>(
+                                    sb.pool.size() - 1),
+                                tpc);
+                    }
+                    break;
+                  }
+                  case Opcode::Jal: {
+                    const std::uint32_t tgt_b =
+                        cfg.block_of[static_cast<std::uint32_t>(
+                            inst.imm)];
+                    t.target = tgt_b;
+                    if (ops + cfg.blocks[tgt_b].size() <=
+                        config.max_ops) {
+                        // Follow the direct call/jump: the transfer
+                        // stays inside the trace (an unconditional
+                        // loop unrolls like a latch does) and resets
+                        // the ops-since-taken origin for later exits.
+                        t.kind = TKind::JalIn;
+                        sb.pool.push_back(t);
+                        sinceop = 0;
+                        b = tgt_b;
+                        via_taken = true;
+                        closed = true; // leaves the pc loop only
+                    } else {
+                        t.kind = TKind::JalExit;
+                        sb.pool.push_back(t);
+                    }
+                    break;
+                  }
+                  case Opcode::Jalr:
+                    t.kind = TKind::JalrExit;
+                    sb.pool.push_back(t);
+                    break;
+                  case Opcode::Halt:
+                    t.kind = TKind::HaltExit;
+                    sb.pool.push_back(t);
+                    break;
+                  default:
+                    // Plain last instruction: the block falls through
+                    // into the next leader.
+                    t.kind = plainKind(inst.op);
+                    sb.pool.push_back(t);
+                    break;
+                }
+            }
+
+            const TKind endk = sb.pool.back().kind;
+            if (endk == TKind::JalExit || endk == TKind::JalrExit ||
+                endk == TKind::HaltExit) {
+                break; // the last real op already exits the trace
+            }
+            if (closed)
+                continue; // JalIn: resume at the followed target
+            // Conditional-branch not-taken edge or a plain block end:
+            // continue at the fall-through leader.
+            const std::uint32_t next_pc = last + 1;
+            if (next_pc >= code_size) {
+                emitFallExit(next_pc);
+                break;
+            }
+            b = cfg.block_of[next_pc];
+        }
+
+        tr.len = ops;
+        util::panicIf(tr.len == 0, "superblock trace with no ops");
+        sb.trace_head[cfg.blocks[b0].first] = b0;
+
+        // Superinstruction pass: rewrite hot adjacent pairs to fused
+        // kinds, greedy leftmost (optimal on a straight line). Only
+        // the first slot's kind changes; the second slot is executed
+        // through a direct goto in the fused handler and keeps its
+        // own fields, so accounting and exits are untouched. Interior
+        // slots are only ever entered sequentially — traces start at
+        // their first op — so pairing never hides a jump target.
+        for (std::size_t i = tr.first; i + 1 < sb.pool.size();) {
+            const TKind f =
+                fusedKind(sb.pool[i].kind, sb.pool[i + 1].kind);
+            if (f != TKind::kind_count_) {
+                sb.pool[i].kind = f;
+                i += 2;
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    return sb;
+}
+
+} // namespace pgss::cpu

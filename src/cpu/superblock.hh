@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The superblock threaded-code fast-forward backend (DESIGN.md
+ * section 14). The interpreter's FastOp loop pays per instruction for
+ * dispatch, a PC bounds check, and taken-branch bookkeeping; this
+ * backend pays those costs per *trace* instead. A trace is a
+ * superblock: a linear run of basic blocks glued along their
+ * fall-through edges and across direct calls, pre-translated into
+ * contiguous threaded-code ops (TOp) executed by a computed-goto
+ * dispatch loop (superblock_exec.hh).
+ *
+ * Formation reuses src/progcheck's CFG builder as the block
+ * discoverer: every block leader starts one trace, which extends
+ *
+ *  - through a forward conditional branch's not-taken edge (the taken
+ *    edge becomes a side exit — unless the taken target turns out to
+ *    lie later in this same trace across only plain ops, in which
+ *    case the branch is patched to an in-trace skip that never exits
+ *    and the executor hops over the slots, with a pair of correction
+ *    counters keeping the static cum/aux accounting exact),
+ *  - through a *backward* conditional branch's taken edge — the
+ *    Ball-Larus likely direction for a loop latch — with the
+ *    not-taken edge as the side exit, so hot loops unroll inside one
+ *    trace up to the op cap instead of exiting every iteration,
+ *  - through plain fall-throughs into the next leader, and
+ *  - across direct calls/jumps (Jal), which stay inside the trace,
+ *
+ * and ends at an indirect jump (Jalr), a Halt, or the op cap. Because every exit target
+ * is itself a leader, execution hops from trace to trace without ever
+ * falling back to the interpreter except when the chunk budget runs
+ * short of a whole trace (SuperblockRunner handles that tail with
+ * FunctionalCore::runFastWith, which is bit-identical by definition).
+ *
+ * The accounting contract that keeps the BBV stream and checkpoint
+ * deltas bit-identical to the interpreter: each op carries its
+ * position from the trace entry (cum) and from the last in-trace
+ * taken transfer (aux), so side exits replay exactly the
+ * (branch address, ops-since-last-taken) pairs and the
+ * ops-since-taken carry the interpreter would have produced, without
+ * any per-instruction counter updates.
+ */
+
+#ifndef PGSS_CPU_SUPERBLOCK_HH
+#define PGSS_CPU_SUPERBLOCK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/functional_core.hh"
+#include "isa/program.hh"
+
+namespace pgss::cpu
+{
+
+/** Sentinel trace id ("no trace starts at this pc"). */
+constexpr std::uint32_t no_trace = ~0u;
+
+/**
+ * Superinstruction pairs: the hot adjacent (plain, any-interior) op
+ * pairs across the workload suite, measured dynamically (these ~20
+ * pairs cover >99% of plain-first adjacencies). Formation rewrites the
+ * first op of each matched pair to the fused kind F_<a>_<b>; its
+ * handler executes a's body and then jumps *directly* into b's
+ * handler, eliminating one indirect dispatch per pair. The second
+ * slot keeps its own kind and accounting fields untouched, so exits,
+ * cum/aux, and serialization are unaffected.
+ *
+ * Constraints: the first element must be a plain (non-control) kind —
+ * control ops can leave the trace mid-pair. The second may be any
+ * interior kind (plain, conditional branch, JalIn) but never a trace
+ * exit, so the trace-termination walk in the cache validator still
+ * lands on a real exit op.
+ */
+#define PGSS_TC_PAIR_LIST(X)                                           \
+    X(Fmul, Fmul)                                                      \
+    X(Addi, CondInBne)                                                 \
+    X(Andi, CondInBeq)                                                 \
+    X(Addi, CondBne)                                                   \
+    X(Addi, Addi)                                                      \
+    X(Ld, Addi)                                                        \
+    X(Ld, Andi)                                                        \
+    X(Andi, CondBeq)                                                   \
+    X(Fmul, Addi)                                                      \
+    X(St, Addi)                                                        \
+    X(Addi, St)                                                        \
+    X(Add, Xor)                                                        \
+    X(Xor, Addi)                                                       \
+    X(Mul, Srl)                                                        \
+    X(Andi, Add)                                                       \
+    X(Srl, Andi)                                                       \
+    X(Add, St)                                                         \
+    X(Ld, Fadd)                                                        \
+    X(Fadd, Addi)                                                      \
+    X(Ld, Ld)                                                          \
+    X(Fadd, Fmul)                                                      \
+    X(Fadd, Fadd)                                                      \
+    X(Fmul, St)                                                        \
+    X(Fdiv, Addi)
+
+/**
+ * Threaded-code op kinds. Interior kinds mirror the FastOp opcodes;
+ * the control kinds encode how the op relates to its trace. Dispatch
+ * indexes a label table with this value, so the enumerator order is
+ * load-bearing (superblock_exec.hh lists labels in the same order).
+ * The fused F_<a>_<b> kinds (PGSS_TC_PAIR_LIST) follow the base
+ * kinds; kind_count_ is a sentinel, never stored in a pool.
+ */
+enum class TKind : std::uint8_t
+{
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt,
+    Addi, Andi, Ori, Xori, Slti, Lui, Mul, Div,
+    Fadd, Fmul, Fdiv, Ld, St, Nop,
+    CondBeq,  ///< interior conditional branch: taken is a side exit
+    CondBne,
+    CondBlt,
+    CondBge,
+    CondInBeq, ///< inverted branch: taken continues the trace (loop
+               ///< latch), not-taken is the side exit
+    CondInBne,
+    CondInBlt,
+    CondInBge,
+    CondSkipBeq, ///< forward branch whose target lies later in this
+                 ///< same trace: taken hops op += target slots
+                 ///< (never exits), not-taken falls through
+    CondSkipBne,
+    CondSkipBlt,
+    CondSkipBge,
+    JalIn,    ///< direct call/jump whose target continues the trace
+    JalExit,  ///< direct call/jump ending the trace (over budget)
+    JalrExit, ///< indirect jump: computed target, always an exit
+    HaltExit, ///< Halt: ends the trace and the program
+    FallExit, ///< pseudo-op (0 instructions): fall-through trace end
+#define PGSS_TC_PAIR_ENUM(a, b) F_##a##_##b,
+    PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_ENUM)
+#undef PGSS_TC_PAIR_ENUM
+    kind_count_, ///< sentinel (also "not fusable" in formation)
+};
+
+/** Number of real TKind values (dispatch-table size). */
+constexpr int tkind_count = static_cast<int>(TKind::kind_count_);
+
+/**
+ * One threaded-code op. cum/aux/target are only read by the control
+ * kinds; interior ALU/memory ops touch just imm and the register
+ * fields, so the hot fields share the struct's first half.
+ */
+struct TOp
+{
+    std::int64_t imm;     ///< immediate / branch target index
+    std::uint32_t pc;     ///< source instruction index
+    std::uint32_t cum;    ///< ops from trace entry through this op
+    std::uint32_t aux;    ///< ops since the last in-trace taken reset
+    std::uint32_t target; ///< chained trace id at a static-target
+                          ///< exit; for CondSkip* kinds, the forward
+                          ///< slot distance to the skip target
+    std::uint8_t rd;      ///< destination (r0 remapped to scratch)
+    std::uint8_t rs1;
+    std::uint8_t rs2;
+    TKind kind;
+};
+static_assert(sizeof(TOp) == 32, "TOp packs two per cache line");
+
+/** One formed trace: a window into SuperblockSet::pool. */
+struct Trace
+{
+    std::uint32_t first = 0; ///< pool index of the first op
+    std::uint32_t len = 0;   ///< real instructions (FallExit excluded)
+};
+
+/** Formation knobs. Participates in the trace-cache identity. */
+struct SuperblockConfig
+{
+    /** Instruction cap per trace (the first block always fits). */
+    std::uint32_t max_ops = 256;
+};
+
+/**
+ * The immutable translated program: one trace per basic block (trace
+ * id == progcheck block id), shared read-only by every runner bound
+ * to the same program. This is what the trace cache persists.
+ */
+struct SuperblockSet
+{
+    SuperblockConfig config;
+    std::vector<Trace> traces;
+    std::vector<TOp> pool;
+    /** pc -> trace id for leaders, no_trace elsewhere. */
+    std::vector<std::uint32_t> trace_head;
+    /** pc -> last instruction index of its basic block. */
+    std::vector<std::uint32_t> block_last;
+};
+
+/**
+ * Translate @p program into superblock traces (one per CFG leader).
+ * Deterministic: identical programs form identical sets.
+ */
+SuperblockSet formSuperblocks(const isa::Program &program,
+                              const SuperblockConfig &config = {});
+
+/**
+ * Executes a program through its formed traces, bound to the same
+ * FunctionalCore the interpreter uses — both backends read and write
+ * the identical architectural state, so they can be switched between
+ * runs. run() is defined in superblock_exec.hh (the dispatch loop is
+ * templated over the taken-branch callback like runFastWith).
+ */
+class SuperblockRunner
+{
+  public:
+    /** Bind @p core (borrowed, must outlive the runner) to @p set. */
+    SuperblockRunner(FunctionalCore &core,
+                     std::shared_ptr<const SuperblockSet> set)
+        : core_(core), set_(std::move(set))
+    {
+    }
+
+    /**
+     * Execute up to @p n instructions; stops early at Halt. Same
+     * contract as FunctionalCore::runFastWith: @p ops_since_taken
+     * carries across calls and @p on_taken fires once per taken
+     * control transfer with (branch byte address, ops since last
+     * taken). @return instructions retired.
+     */
+    template <typename OnTaken>
+    std::uint64_t run(std::uint64_t n, std::uint64_t &ops_since_taken,
+                      OnTaken &&on_taken);
+
+    const SuperblockSet &set() const { return *set_; }
+
+  private:
+    FunctionalCore &core_;
+    std::shared_ptr<const SuperblockSet> set_;
+};
+
+} // namespace pgss::cpu
+
+#include "cpu/superblock_exec.hh"
+
+#endif // PGSS_CPU_SUPERBLOCK_HH

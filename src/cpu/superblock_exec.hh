@@ -1,0 +1,600 @@
+/**
+ * @file
+ * The threaded-code dispatch loop for SuperblockRunner (declared in
+ * superblock.hh, which includes this at the bottom). Kept separate so
+ * the dispatch machinery — label tables, the accounting epilogues —
+ * reads as one unit next to the formation rules it must mirror.
+ *
+ * Under GCC/Clang each TOp handler ends with a computed goto through a
+ * per-kind label table, so the host branch predictor sees one indirect
+ * jump site per handler (classic token-threaded dispatch). Elsewhere a
+ * single switch re-dispatches to the same labels; only the
+ * PGSS_TC_DISPATCH macro differs, the handlers are shared.
+ *
+ * Correctness contract (verified op-for-op against runFastWith by
+ * tests/test_cpu_superblock.cc): every architectural effect, panic
+ * message, page-dirty mark, and (branch address, ops-since-taken)
+ * callback is bit-identical to the interpreter's. The accounting
+ * trick: interior ops never touch counters; exits add the
+ * pre-computed cum (ops retired from trace entry) to done, and taken
+ * transfers report since + aux, where aux was pre-computed at
+ * formation as the op count since the trace's last internal reset
+ * point (entry, a preceding JalIn, or an inverted branch's taken
+ * edge). In-trace skips (CondSkip*) hop over ops that were emitted
+ * but not executed, so two correction counters (skip_cum, corr_aux)
+ * subtract the hopped ops back out of the static fields.
+ */
+
+#ifndef PGSS_CPU_SUPERBLOCK_EXEC_HH
+#define PGSS_CPU_SUPERBLOCK_EXEC_HH
+
+#ifndef PGSS_CPU_SUPERBLOCK_HH
+#error "include cpu/superblock.hh instead of this file"
+#endif
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.hh"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PGSS_TC_COMPUTED_GOTO 1
+#else
+#define PGSS_TC_COMPUTED_GOTO 0
+#endif
+
+namespace pgss::cpu
+{
+
+template <typename OnTaken>
+std::uint64_t
+SuperblockRunner::run(std::uint64_t n, std::uint64_t &ops_since_taken,
+                      OnTaken &&on_taken)
+{
+    if (core_.halted() || n == 0)
+        return 0;
+
+    const SuperblockSet &sb = *set_;
+    const Trace *traces = sb.traces.data();
+    const TOp *pool = sb.pool.data();
+    const std::uint32_t *trace_head = sb.trace_head.data();
+    const std::uint32_t *block_last = sb.block_last.data();
+    const std::uint64_t code_size = sb.trace_head.size();
+
+    std::uint64_t *mem = core_.memory().rawWords();
+    const std::uint64_t mem_words = core_.memory().words().size();
+    std::uint8_t *page_dirty = core_.memory().rawPageDirty();
+
+    // Same local register file convention as runFastWith: one scratch
+    // slot past the architectural file absorbs r0 writes.
+    std::array<std::uint64_t, isa::num_regs + 1> regs;
+    std::copy(core_.regs().begin(), core_.regs().end(), regs.begin());
+    regs[isa::num_regs] = 0;
+
+    std::uint64_t pc = core_.pc();
+    std::uint64_t done = 0;
+    // Ops retired in threaded code since the last commit into the
+    // core (tail-interpretation commits and re-loads around it).
+    std::uint64_t uncommitted = 0;
+    std::uint64_t since = ops_since_taken;
+    // In-trace skip corrections (CondSkip*): a taken skip hops over
+    // target-1 statically-emitted ops without executing them, so the
+    // pre-computed cum/aux fields over-count by these two amounts
+    // until the next trace exit / static reset point re-zeroes them.
+    std::uint64_t skip_cum = 0;  // skipped ops since trace entry
+    std::uint64_t corr_aux = 0;  // aux over-count in the current frame
+    bool halted = false;
+
+    const TOp *op = nullptr;
+    std::uint32_t chain = no_trace;
+
+#if PGSS_TC_COMPUTED_GOTO
+    // Token-threaded dispatch: indexed by TKind, same order as the
+    // enum (superblock.hh). GCC's &&label extension; -Wpedantic is
+    // deliberately off in the toolchain file.
+    void *const jt[tkind_count] = {
+        &&tc_Add, &&tc_Sub, &&tc_And, &&tc_Or, &&tc_Xor,
+        &&tc_Sll, &&tc_Srl, &&tc_Sra, &&tc_Slt,
+        &&tc_Addi, &&tc_Andi, &&tc_Ori, &&tc_Xori, &&tc_Slti,
+        &&tc_Lui, &&tc_Mul, &&tc_Div,
+        &&tc_Fadd, &&tc_Fmul, &&tc_Fdiv, &&tc_Ld, &&tc_St, &&tc_Nop,
+        &&tc_CondBeq, &&tc_CondBne, &&tc_CondBlt, &&tc_CondBge,
+        &&tc_CondInBeq, &&tc_CondInBne, &&tc_CondInBlt,
+        &&tc_CondInBge,
+        &&tc_CondSkipBeq, &&tc_CondSkipBne, &&tc_CondSkipBlt,
+        &&tc_CondSkipBge,
+        &&tc_JalIn, &&tc_JalExit, &&tc_JalrExit, &&tc_HaltExit,
+        &&tc_FallExit,
+#define PGSS_TC_PAIR_LABEL(a, b) &&tc_F_##a##_##b,
+        PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_LABEL)
+#undef PGSS_TC_PAIR_LABEL
+    };
+#define PGSS_TC_DISPATCH() goto *jt[static_cast<int>(op->kind)]
+#else
+#define PGSS_TC_DISPATCH() goto tc_dispatch
+#endif
+
+    while (done < n) {
+        util::panicIf(pc >= code_size,
+                      "PC ran off the end of the program");
+        const std::uint32_t tid = trace_head[pc];
+        if (tid == no_trace || n - done < traces[tid].len) {
+            // Tail path: not at a trace head (e.g. restored mid-block)
+            // or the remaining budget cannot fit the whole trace. Let
+            // the interpreter retire the exact count — to the end of
+            // the current block when off-trace (every block exit lands
+            // on a leader), or the full remainder when the budget is
+            // the binding constraint.
+            std::array<std::uint64_t, isa::num_regs> commit;
+            std::copy_n(regs.begin(), isa::num_regs, commit.begin());
+            core_.setRegs(commit);
+            core_.setPc(pc);
+            core_.setRetired(core_.retired() + uncommitted);
+            uncommitted = 0;
+            const std::uint64_t budget = n - done;
+            const std::uint64_t k =
+                tid != no_trace
+                    ? budget
+                    : std::min<std::uint64_t>(
+                          budget, block_last[pc] - pc + 1);
+            done += core_.runFastWith(k, since, on_taken);
+            std::copy(core_.regs().begin(), core_.regs().end(),
+                      regs.begin());
+            pc = core_.pc();
+            if (core_.halted()) {
+                ops_since_taken = since;
+                return done;
+            }
+            continue;
+        }
+
+        op = pool + traces[tid].first;
+        PGSS_TC_DISPATCH();
+
+#if !PGSS_TC_COMPUTED_GOTO
+      tc_dispatch:
+        switch (op->kind) {
+          case TKind::Add: goto tc_Add;
+          case TKind::Sub: goto tc_Sub;
+          case TKind::And: goto tc_And;
+          case TKind::Or: goto tc_Or;
+          case TKind::Xor: goto tc_Xor;
+          case TKind::Sll: goto tc_Sll;
+          case TKind::Srl: goto tc_Srl;
+          case TKind::Sra: goto tc_Sra;
+          case TKind::Slt: goto tc_Slt;
+          case TKind::Addi: goto tc_Addi;
+          case TKind::Andi: goto tc_Andi;
+          case TKind::Ori: goto tc_Ori;
+          case TKind::Xori: goto tc_Xori;
+          case TKind::Slti: goto tc_Slti;
+          case TKind::Lui: goto tc_Lui;
+          case TKind::Mul: goto tc_Mul;
+          case TKind::Div: goto tc_Div;
+          case TKind::Fadd: goto tc_Fadd;
+          case TKind::Fmul: goto tc_Fmul;
+          case TKind::Fdiv: goto tc_Fdiv;
+          case TKind::Ld: goto tc_Ld;
+          case TKind::St: goto tc_St;
+          case TKind::Nop: goto tc_Nop;
+          case TKind::CondBeq: goto tc_CondBeq;
+          case TKind::CondBne: goto tc_CondBne;
+          case TKind::CondBlt: goto tc_CondBlt;
+          case TKind::CondBge: goto tc_CondBge;
+          case TKind::CondInBeq: goto tc_CondInBeq;
+          case TKind::CondInBne: goto tc_CondInBne;
+          case TKind::CondInBlt: goto tc_CondInBlt;
+          case TKind::CondInBge: goto tc_CondInBge;
+          case TKind::CondSkipBeq: goto tc_CondSkipBeq;
+          case TKind::CondSkipBne: goto tc_CondSkipBne;
+          case TKind::CondSkipBlt: goto tc_CondSkipBlt;
+          case TKind::CondSkipBge: goto tc_CondSkipBge;
+          case TKind::JalIn: goto tc_JalIn;
+          case TKind::JalExit: goto tc_JalExit;
+          case TKind::JalrExit: goto tc_JalrExit;
+          case TKind::HaltExit: goto tc_HaltExit;
+          case TKind::FallExit: goto tc_FallExit;
+#define PGSS_TC_PAIR_CASE(a, b)                                        \
+          case TKind::F_##a##_##b: goto tc_F_##a##_##b;
+          PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_CASE)
+#undef PGSS_TC_PAIR_CASE
+          case TKind::kind_count_: break;
+        }
+        util::panic("unhandled TOp kind in SuperblockRunner::run");
+#endif
+
+// Plain-op bodies, shared between the standalone handlers below and
+// the fused-pair handlers (which run a body and then jump directly
+// into the second op's handler — see PGSS_TC_PAIR_LIST).
+#define PGSS_TC_BODY_Add                                               \
+    regs[op->rd] = regs[op->rs1] + regs[op->rs2]
+#define PGSS_TC_BODY_Sub                                               \
+    regs[op->rd] = regs[op->rs1] - regs[op->rs2]
+#define PGSS_TC_BODY_And                                               \
+    regs[op->rd] = regs[op->rs1] & regs[op->rs2]
+#define PGSS_TC_BODY_Or                                                \
+    regs[op->rd] = regs[op->rs1] | regs[op->rs2]
+#define PGSS_TC_BODY_Xor                                               \
+    regs[op->rd] = regs[op->rs1] ^ regs[op->rs2]
+#define PGSS_TC_BODY_Sll                                               \
+    regs[op->rd] = regs[op->rs1] << (regs[op->rs2] & 63)
+#define PGSS_TC_BODY_Srl                                               \
+    regs[op->rd] = regs[op->rs1] >> (regs[op->rs2] & 63)
+#define PGSS_TC_BODY_Sra                                               \
+    regs[op->rd] = static_cast<std::uint64_t>(                         \
+        static_cast<std::int64_t>(regs[op->rs1]) >>                    \
+        (regs[op->rs2] & 63))
+#define PGSS_TC_BODY_Slt                                               \
+    regs[op->rd] = static_cast<std::int64_t>(regs[op->rs1]) <          \
+                           static_cast<std::int64_t>(regs[op->rs2])    \
+                       ? 1                                             \
+                       : 0
+#define PGSS_TC_BODY_Addi                                              \
+    regs[op->rd] = regs[op->rs1] + static_cast<std::uint64_t>(op->imm)
+#define PGSS_TC_BODY_Andi                                              \
+    regs[op->rd] = regs[op->rs1] & static_cast<std::uint64_t>(op->imm)
+#define PGSS_TC_BODY_Ori                                               \
+    regs[op->rd] = regs[op->rs1] | static_cast<std::uint64_t>(op->imm)
+#define PGSS_TC_BODY_Xori                                              \
+    regs[op->rd] = regs[op->rs1] ^ static_cast<std::uint64_t>(op->imm)
+#define PGSS_TC_BODY_Slti                                              \
+    regs[op->rd] =                                                     \
+        static_cast<std::int64_t>(regs[op->rs1]) < op->imm ? 1 : 0
+#define PGSS_TC_BODY_Lui                                               \
+    regs[op->rd] = static_cast<std::uint64_t>(op->imm)
+#define PGSS_TC_BODY_Mul                                               \
+    regs[op->rd] = regs[op->rs1] * regs[op->rs2]
+#define PGSS_TC_BODY_Div                                               \
+    regs[op->rd] = detail::divSigned(regs[op->rs1], regs[op->rs2])
+#define PGSS_TC_BODY_Fadd                                              \
+    regs[op->rd] = detail::asBits(detail::asDouble(regs[op->rs1]) +    \
+                                  detail::asDouble(regs[op->rs2]))
+#define PGSS_TC_BODY_Fmul                                              \
+    regs[op->rd] = detail::asBits(detail::asDouble(regs[op->rs1]) *    \
+                                  detail::asDouble(regs[op->rs2]))
+#define PGSS_TC_BODY_Fdiv                                              \
+    regs[op->rd] = detail::asBits(detail::asDouble(regs[op->rs1]) /    \
+                                  detail::asDouble(regs[op->rs2]))
+#define PGSS_TC_BODY_Ld                                                \
+    {                                                                  \
+        const std::uint64_t addr =                                     \
+            regs[op->rs1] + static_cast<std::uint64_t>(op->imm);       \
+        util::panicIf((addr & 7) != 0, "unaligned memory read");       \
+        const std::uint64_t w = addr >> 3;                             \
+        util::panicIf(w >= mem_words, "memory read out of range");     \
+        regs[op->rd] = mem[w];                                         \
+    }
+#define PGSS_TC_BODY_St                                                \
+    {                                                                  \
+        const std::uint64_t addr =                                     \
+            regs[op->rs1] + static_cast<std::uint64_t>(op->imm);       \
+        util::panicIf((addr & 7) != 0, "unaligned memory write");      \
+        const std::uint64_t w = addr >> 3;                             \
+        util::panicIf(w >= mem_words, "memory write out of range");    \
+        mem[w] = regs[op->rs2];                                        \
+        page_dirty[w >> mem::MainMemory::page_shift] = 1;              \
+    }
+#define PGSS_TC_BODY_Nop ((void)0)
+
+      tc_Add:
+        PGSS_TC_BODY_Add;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Sub:
+        PGSS_TC_BODY_Sub;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_And:
+        PGSS_TC_BODY_And;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Or:
+        PGSS_TC_BODY_Or;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Xor:
+        PGSS_TC_BODY_Xor;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Sll:
+        PGSS_TC_BODY_Sll;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Srl:
+        PGSS_TC_BODY_Srl;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Sra:
+        PGSS_TC_BODY_Sra;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Slt:
+        PGSS_TC_BODY_Slt;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Addi:
+        PGSS_TC_BODY_Addi;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Andi:
+        PGSS_TC_BODY_Andi;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Ori:
+        PGSS_TC_BODY_Ori;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Xori:
+        PGSS_TC_BODY_Xori;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Slti:
+        PGSS_TC_BODY_Slti;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Lui:
+        PGSS_TC_BODY_Lui;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Mul:
+        PGSS_TC_BODY_Mul;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Div:
+        PGSS_TC_BODY_Div;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Fadd:
+        PGSS_TC_BODY_Fadd;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Fmul:
+        PGSS_TC_BODY_Fmul;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Fdiv:
+        PGSS_TC_BODY_Fdiv;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Ld:
+        PGSS_TC_BODY_Ld;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_St:
+        PGSS_TC_BODY_St;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_Nop:
+        ++op;
+        PGSS_TC_DISPATCH();
+
+      tc_CondBeq:
+        if (regs[op->rs1] == regs[op->rs2])
+            goto tc_taken_exit;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_CondBne:
+        if (regs[op->rs1] != regs[op->rs2])
+            goto tc_taken_exit;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_CondBlt:
+        if (static_cast<std::int64_t>(regs[op->rs1]) <
+            static_cast<std::int64_t>(regs[op->rs2]))
+            goto tc_taken_exit;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_CondBge:
+        if (static_cast<std::int64_t>(regs[op->rs1]) >=
+            static_cast<std::int64_t>(regs[op->rs2]))
+            goto tc_taken_exit;
+        ++op;
+        PGSS_TC_DISPATCH();
+
+      tc_CondInBeq:
+        if (regs[op->rs1] == regs[op->rs2])
+            goto tc_taken_in;
+        goto tc_FallExit;
+      tc_CondInBne:
+        if (regs[op->rs1] != regs[op->rs2])
+            goto tc_taken_in;
+        goto tc_FallExit;
+      tc_CondInBlt:
+        if (static_cast<std::int64_t>(regs[op->rs1]) <
+            static_cast<std::int64_t>(regs[op->rs2]))
+            goto tc_taken_in;
+        goto tc_FallExit;
+      tc_CondInBge:
+        if (static_cast<std::int64_t>(regs[op->rs1]) >=
+            static_cast<std::int64_t>(regs[op->rs2]))
+            goto tc_taken_in;
+        goto tc_FallExit;
+
+      tc_CondSkipBeq:
+        if (regs[op->rs1] == regs[op->rs2])
+            goto tc_skip_taken;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_CondSkipBne:
+        if (regs[op->rs1] != regs[op->rs2])
+            goto tc_skip_taken;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_CondSkipBlt:
+        if (static_cast<std::int64_t>(regs[op->rs1]) <
+            static_cast<std::int64_t>(regs[op->rs2]))
+            goto tc_skip_taken;
+        ++op;
+        PGSS_TC_DISPATCH();
+      tc_CondSkipBge:
+        if (static_cast<std::int64_t>(regs[op->rs1]) >=
+            static_cast<std::int64_t>(regs[op->rs2]))
+            goto tc_skip_taken;
+        ++op;
+        PGSS_TC_DISPATCH();
+
+      tc_skip_taken:
+        // Forward branch whose target lies later in this same trace:
+        // taken hops over target-1 plain ops instead of exiting. The
+        // skipped ops never execute, so the static cum fields
+        // over-count by skip_cum from here to the next exit, and the
+        // static aux fields over-count by corr_aux until the next
+        // static reset point re-zeroes the frame. corr_aux is
+        // absolute within the frame (a later skip replaces, not
+        // accumulates), skip_cum accumulates across the whole trace.
+        on_taken(isa::instAddr(op->pc), since + op->aux - corr_aux);
+        since = 0;
+        skip_cum += op->target - 1;
+        corr_aux = op->aux + (op->target - 1);
+        op += op->target;
+        PGSS_TC_DISPATCH();
+
+      tc_taken_in:
+        // Inverted (likely-taken) branch going its likely way: the
+        // loop latch transfers to the unrolled copy laid out next in
+        // the pool. Report the taken branch and reset the origin;
+        // no trace exit, no budget check — entry reserved the whole
+        // trace. Not-taken leaves through tc_FallExit, whose cum/aux
+        // fields on this op account the branch itself.
+        on_taken(isa::instAddr(op->pc), since + op->aux - corr_aux);
+        since = 0;
+        corr_aux = 0;
+        ++op;
+        PGSS_TC_DISPATCH();
+
+      tc_JalIn:
+        // Direct call/jump continuing inside the trace: link write
+        // plus the taken-branch report; execution just runs on into
+        // the target's ops (laid out next in the pool).
+        regs[op->rd] = op->pc + 1;
+        on_taken(isa::instAddr(op->pc), since + op->aux - corr_aux);
+        since = 0;
+        corr_aux = 0;
+        ++op;
+        PGSS_TC_DISPATCH();
+
+      tc_JalExit:
+        regs[op->rd] = op->pc + 1;
+        goto tc_taken_exit;
+
+      tc_taken_exit:
+        // Shared epilogue for every statically-targeted taken exit:
+        // account the retired prefix (minus any ops hopped over by
+        // in-trace skips), report the transfer, then chain straight
+        // into the target trace when the budget allows.
+        done += op->cum - skip_cum;
+        uncommitted += op->cum - skip_cum;
+        on_taken(isa::instAddr(op->pc), since + op->aux - corr_aux);
+        since = 0;
+        skip_cum = 0;
+        corr_aux = 0;
+        pc = static_cast<std::uint64_t>(op->imm);
+        chain = op->target;
+        if (chain != no_trace && n - done >= traces[chain].len) {
+            op = pool + traces[chain].first;
+            PGSS_TC_DISPATCH();
+        }
+        continue;
+
+      tc_JalrExit: {
+        // Indirect jump: the link value and target use the pre-link
+        // rs1 value, exactly like the interpreter (which reads its
+        // sources before any write).
+        const std::uint64_t a = regs[op->rs1];
+        regs[op->rd] = op->pc + 1;
+        done += op->cum - skip_cum;
+        uncommitted += op->cum - skip_cum;
+        on_taken(isa::instAddr(op->pc), since + op->aux - corr_aux);
+        since = 0;
+        skip_cum = 0;
+        corr_aux = 0;
+        pc = a + static_cast<std::uint64_t>(op->imm);
+        if (pc < code_size) {
+            chain = trace_head[pc];
+            if (chain != no_trace && n - done >= traces[chain].len) {
+                op = pool + traces[chain].first;
+                PGSS_TC_DISPATCH();
+            }
+        }
+        continue;
+      }
+
+      tc_HaltExit:
+        done += op->cum - skip_cum;
+        uncommitted += op->cum - skip_cum;
+        since += op->aux - corr_aux;
+        pc = op->pc + 1;
+        halted = true;
+        break;
+
+      tc_FallExit:
+        // Fall-through exit, shared by the end-of-trace pseudo-op
+        // (zero instructions) and an inverted branch going not-taken
+        // (whose cum/aux include the branch itself): no taken-branch
+        // report, the since-carry keeps accumulating.
+        done += op->cum - skip_cum;
+        uncommitted += op->cum - skip_cum;
+        since += op->aux - corr_aux;
+        pc = static_cast<std::uint64_t>(op->imm);
+        chain = op->target;
+        skip_cum = 0;
+        corr_aux = 0;
+        if (chain != no_trace && n - done >= traces[chain].len) {
+            op = pool + traces[chain].first;
+            PGSS_TC_DISPATCH();
+        }
+        continue;
+
+        // Fused superinstruction handlers (PGSS_TC_PAIR_LIST): run the
+        // first op's body, advance, and fall directly into the second
+        // op's handler — a static jump in place of the table dispatch.
+        // The second slot carries its own fields (including cum/aux),
+        // so a conditional second can still take the shared exit path
+        // with op pointing at the branch, exactly as when unfused.
+#define PGSS_TC_PAIR_HANDLER(a, b)                                     \
+  tc_F_##a##_##b:                                                      \
+    PGSS_TC_BODY_##a;                                                  \
+    ++op;                                                              \
+    goto tc_##b;
+        PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_HANDLER)
+#undef PGSS_TC_PAIR_HANDLER
+    }
+
+#undef PGSS_TC_DISPATCH
+#undef PGSS_TC_BODY_Add
+#undef PGSS_TC_BODY_Sub
+#undef PGSS_TC_BODY_And
+#undef PGSS_TC_BODY_Or
+#undef PGSS_TC_BODY_Xor
+#undef PGSS_TC_BODY_Sll
+#undef PGSS_TC_BODY_Srl
+#undef PGSS_TC_BODY_Sra
+#undef PGSS_TC_BODY_Slt
+#undef PGSS_TC_BODY_Addi
+#undef PGSS_TC_BODY_Andi
+#undef PGSS_TC_BODY_Ori
+#undef PGSS_TC_BODY_Xori
+#undef PGSS_TC_BODY_Slti
+#undef PGSS_TC_BODY_Lui
+#undef PGSS_TC_BODY_Mul
+#undef PGSS_TC_BODY_Div
+#undef PGSS_TC_BODY_Fadd
+#undef PGSS_TC_BODY_Fmul
+#undef PGSS_TC_BODY_Fdiv
+#undef PGSS_TC_BODY_Ld
+#undef PGSS_TC_BODY_St
+#undef PGSS_TC_BODY_Nop
+
+    std::array<std::uint64_t, isa::num_regs> commit;
+    std::copy_n(regs.begin(), isa::num_regs, commit.begin());
+    core_.setRegs(commit);
+    core_.setPc(pc);
+    core_.setRetired(core_.retired() + uncommitted);
+    core_.setHalted(halted);
+    ops_since_taken = since;
+    return done;
+}
+
+} // namespace pgss::cpu
+
+#endif // PGSS_CPU_SUPERBLOCK_EXEC_HH

@@ -1,0 +1,332 @@
+#include "cpu/trace_cache.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/spans.hh"
+#include "util/atomic_file.hh"
+#include "util/env.hh"
+#include "util/fi.hh"
+#include "util/logging.hh"
+
+namespace pgss::cpu
+{
+
+namespace
+{
+
+constexpr std::uint32_t trace_magic = 0x50475452; // "PGTR"
+// v2: fused superinstruction kinds (PGSS_TC_PAIR_LIST) in pools.
+constexpr std::uint32_t trace_version = 2;
+
+// Fault sites named by the chaos contract: .load corrupts the raw
+// bytes a read returns (CRC validation is what must catch it), .store
+// fails the persist step (degradation, never an error), and the
+// FileSites cover the usual open/write/fsync/rename syscall points.
+util::fi::Site trace_load("cache.trace.load");
+util::fi::Site trace_store("cache.trace.store");
+util::FileSites trace_file_sites("cache.trace");
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c
+                          : '_');
+    return out;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+superblockIdentity(const isa::Program &program,
+                   const SuperblockConfig &config)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const isa::Instruction &inst : program.code) {
+        mix(static_cast<std::uint64_t>(inst.op) |
+            (std::uint64_t{inst.rd} << 8) |
+            (std::uint64_t{inst.rs1} << 16) |
+            (std::uint64_t{inst.rs2} << 24));
+        mix(static_cast<std::uint64_t>(inst.imm));
+    }
+    mix(program.entry);
+    mix(program.data_bytes);
+    // The declared indirect-target sets shape the CFG's leaders, so
+    // they are part of what the formed traces depend on.
+    for (const isa::IndirectTargetSet &s : program.indirect_targets) {
+        mix(s.at);
+        for (std::uint32_t t : s.targets)
+            mix(t);
+    }
+    mix(config.max_ops);
+    return h;
+}
+
+std::vector<std::uint8_t>
+serializeSuperblocks(const SuperblockSet &sb, std::uint64_t identity)
+{
+    util::BinaryWriter w(trace_magic, trace_version);
+    w.putU64(identity);
+    w.putU32(sb.config.max_ops);
+    w.putU32(static_cast<std::uint32_t>(sb.trace_head.size()));
+    w.putU32(static_cast<std::uint32_t>(sb.traces.size()));
+    w.putU32(static_cast<std::uint32_t>(sb.pool.size()));
+    w.putSectionCrc(); // header
+
+    for (const Trace &t : sb.traces) {
+        w.putU32(t.first);
+        w.putU32(t.len);
+    }
+    w.putSectionCrc(); // traces
+
+    for (const TOp &t : sb.pool) {
+        w.putI64(t.imm);
+        w.putU32(t.pc);
+        w.putU32(t.cum);
+        w.putU32(t.aux);
+        w.putU32(t.target);
+        w.putU8(t.rd);
+        w.putU8(t.rs1);
+        w.putU8(t.rs2);
+        w.putU8(static_cast<std::uint8_t>(t.kind));
+    }
+    w.putSectionCrc(); // pool
+
+    for (std::uint32_t v : sb.block_last)
+        w.putU32(v);
+    w.putSectionCrc(); // block_last (trace_head is rebuilt on load)
+
+    return w.bytes();
+}
+
+SuperblockSet
+deserializeSuperblocks(const std::vector<std::uint8_t> &data,
+                       std::uint64_t identity, util::ReadError &err)
+{
+    SuperblockSet sb;
+    util::BinaryReader r(data, trace_magic, trace_version);
+    if (!r.ok()) {
+        err = r.error();
+        return sb;
+    }
+
+    const std::uint64_t stored_identity = r.getU64();
+    sb.config.max_ops = r.getU32();
+    const std::uint32_t code_size = r.getU32();
+    const std::uint32_t ntraces = r.getU32();
+    const std::uint32_t npool = r.getU32();
+    if (!r.checkSectionCrc()) {
+        err = r.error();
+        return sb;
+    }
+    if (stored_identity != identity) {
+        // A different program behind the same file name: a hash
+        // collision, not damage. Reform silently.
+        err = util::ReadError::Stale;
+        return sb;
+    }
+
+    sb.traces.resize(ntraces);
+    for (Trace &t : sb.traces) {
+        t.first = r.getU32();
+        t.len = r.getU32();
+    }
+    if (!r.checkSectionCrc()) {
+        err = r.error();
+        return sb;
+    }
+
+    sb.pool.resize(npool);
+    for (TOp &t : sb.pool) {
+        t.imm = r.getI64();
+        t.pc = r.getU32();
+        t.cum = r.getU32();
+        t.aux = r.getU32();
+        t.target = r.getU32();
+        t.rd = r.getU8();
+        t.rs1 = r.getU8();
+        t.rs2 = r.getU8();
+        t.kind = static_cast<TKind>(r.getU8());
+    }
+    if (!r.checkSectionCrc()) {
+        err = r.error();
+        return sb;
+    }
+
+    sb.block_last.resize(code_size);
+    for (std::uint32_t &v : sb.block_last)
+        v = r.getU32();
+    if (!r.checkSectionCrc() || !r.atEnd()) {
+        err = util::ReadError::Corrupt;
+        return sb;
+    }
+
+    // Structural validation: the dispatch loop indexes these arrays
+    // unchecked, so anything out of bounds must read as Corrupt even
+    // when every CRC is intact.
+    bool valid = true;
+    const auto isSkip = [](TKind k) {
+        return k == TKind::CondSkipBeq || k == TKind::CondSkipBne ||
+               k == TKind::CondSkipBlt || k == TKind::CondSkipBge;
+    };
+    for (const TOp &t : sb.pool) {
+        if (static_cast<int>(t.kind) >= tkind_count ||
+            t.rd > isa::num_regs || t.rs1 >= isa::num_regs ||
+            t.rs2 >= isa::num_regs || t.pc > code_size ||
+            (!isSkip(t.kind) && t.target != no_trace &&
+             t.target >= ntraces))
+            valid = false;
+    }
+    const auto isExit = [](TKind k) {
+        return k == TKind::JalExit || k == TKind::JalrExit ||
+               k == TKind::HaltExit || k == TKind::FallExit;
+    };
+    for (const Trace &t : sb.traces) {
+        if (!valid)
+            break;
+        // len == 0 would stall the budget check, the head op's pc
+        // seeds trace_head, and the dispatch loop advances until an
+        // exit kind — all three must hold inside the pool.
+        if (t.first >= npool || t.len == 0 ||
+            sb.pool[t.first].pc >= code_size) {
+            valid = false;
+            break;
+        }
+        std::uint32_t j = t.first;
+        while (j < npool && !isExit(sb.pool[j].kind))
+            ++j;
+        if (j >= npool) {
+            valid = false;
+            break;
+        }
+        // A CondSkip target is a forward slot delta executed as an
+        // unchecked op += target: it must make progress and land at or
+        // before this trace's exit op so dispatch still terminates.
+        for (std::uint32_t k = t.first; k < j; ++k)
+            if (isSkip(sb.pool[k].kind) &&
+                (sb.pool[k].target < 1 || k + sb.pool[k].target > j))
+                valid = false;
+    }
+    for (std::uint32_t v : sb.block_last)
+        if (v >= code_size)
+            valid = false;
+    if (!valid) {
+        err = util::ReadError::Corrupt;
+        return sb;
+    }
+
+    sb.trace_head.assign(code_size, no_trace);
+    for (std::uint32_t i = 0; i < ntraces; ++i)
+        sb.trace_head[sb.pool[sb.traces[i].first].pc] = i;
+
+    err = util::ReadError::None;
+    return sb;
+}
+
+TraceCache::TraceCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        dir_ = util::profileCacheDir();
+}
+
+std::string
+TraceCache::pathFor(const isa::Program &program,
+                    const SuperblockConfig &config) const
+{
+    const std::uint64_t h = superblockIdentity(program, config);
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "_%016llx.trace",
+                  static_cast<unsigned long long>(h));
+    return dir_ + "/" + sanitize(program.name) + suffix;
+}
+
+std::shared_ptr<const SuperblockSet>
+TraceCache::loadOrForm(const isa::Program &program,
+                       const SuperblockConfig &config)
+{
+    const std::uint64_t identity =
+        superblockIdentity(program, config);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = sets_.find(identity); it != sets_.end()) {
+        ++stats_.mem_hits;
+        return it->second;
+    }
+
+    const std::string path = pathFor(program, config);
+
+    {
+        PGSS_SPAN("trace_cache.load", Io);
+        std::vector<std::uint8_t> bytes;
+        if (util::readFileBytes(path, bytes)) {
+            trace_load.corrupt(bytes);
+            util::ReadError err;
+            SuperblockSet sb =
+                deserializeSuperblocks(bytes, identity, err);
+            if (err == util::ReadError::None) {
+                util::verbose("trace cache hit: %s", path.c_str());
+                ++stats_.disk_hits;
+                ++util::fi::counter("trace_cache.hits");
+                auto set = std::make_shared<const SuperblockSet>(
+                    std::move(sb));
+                sets_.emplace(identity, set);
+                return set;
+            }
+            if (err == util::ReadError::Corrupt) {
+                ++stats_.quarantined;
+                ++util::fi::counter("trace_cache.quarantined");
+                util::quarantineFile(path);
+            }
+        }
+    }
+
+    ++stats_.misses;
+    ++util::fi::counter("trace_cache.misses");
+    auto set = std::make_shared<const SuperblockSet>(
+        formSuperblocks(program, config));
+    sets_.emplace(identity, set);
+
+    PGSS_SPAN("trace_cache.store", Io);
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    const auto bytes = serializeSuperblocks(*set, identity);
+    std::string werr;
+    if (trace_store.shouldFail() ||
+        !util::atomicWriteFile(path, bytes.data(), bytes.size(),
+                               &trace_file_sites, &werr)) {
+        // Degradation, never an error: the set lives in memory, the
+        // next process just reforms it. Counted for chaos asserts.
+        ++stats_.store_failed;
+        ++util::fi::counter("trace_cache.store_failed");
+        util::warn("could not write trace cache file %s (%s)",
+                   path.c_str(),
+                   werr.empty() ? "fault injected" : werr.c_str());
+    }
+    return set;
+}
+
+TraceCacheStats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+TraceCache &
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+} // namespace pgss::cpu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Persistent cache for formed superblock sets, mirroring the
+ * ground-truth profile cache (analysis/profile_cache): one sealed
+ * binary artifact per program identity under the profile-cache
+ * directory (PGSS_PROFILE_CACHE, default pgss_profile_cache/), named
+ * `<name>_<identity>.trace`. Repeat runs load the translation instead
+ * of re-running CFG construction and trace formation.
+ *
+ * The identity hash covers everything formation consumes: the decoded
+ * code, entry point, data footprint, the declared indirect-target
+ * sets (they shape the CFG's leaders), and the formation config. Any
+ * change produces a different file name; an identity mismatch inside
+ * a file (hash collision) reads as stale and reforms silently.
+ *
+ * Robustness follows the house artifact contract (DESIGN.md sections
+ * 12-13): v1 sealed sections via util/serialize, atomic writes via
+ * util/atomic_file, fault sites `cache.trace.load` /
+ * `cache.trace.store`, and ReadError::Corrupt -> quarantine the file
+ * as *.corrupt, count `trace_cache.quarantined`, and rebuild
+ * transparently.
+ */
+
+#ifndef PGSS_CPU_TRACE_CACHE_HH
+#define PGSS_CPU_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/superblock.hh"
+#include "isa/program.hh"
+#include "util/serialize.hh"
+
+namespace pgss::cpu
+{
+
+/** Identity of a program + formation config for cache keying. */
+std::uint64_t superblockIdentity(const isa::Program &program,
+                                 const SuperblockConfig &config);
+
+/** Serialize @p sb into the sealed on-disk format. */
+std::vector<std::uint8_t> serializeSuperblocks(
+    const SuperblockSet &sb, std::uint64_t identity);
+
+/**
+ * Parse a cached superblock set. @p identity must match the stored
+ * one (a mismatch reads as Stale). Structural validation failures
+ * after intact CRCs also land on Corrupt: the executor indexes the
+ * arrays unchecked, so nothing malformed may leave this function.
+ */
+SuperblockSet deserializeSuperblocks(
+    const std::vector<std::uint8_t> &data, std::uint64_t identity,
+    util::ReadError &err);
+
+/** Per-process trace-cache traffic, for tests and telemetry. */
+struct TraceCacheStats
+{
+    std::uint64_t mem_hits = 0;     ///< served from the in-memory map
+    std::uint64_t disk_hits = 0;    ///< loaded from a cache file
+    std::uint64_t misses = 0;       ///< formed from scratch
+    std::uint64_t quarantined = 0;  ///< corrupt files set aside
+    std::uint64_t store_failed = 0; ///< formed but not persisted
+};
+
+/**
+ * The trace cache: an in-memory identity -> SuperblockSet map backed
+ * by the on-disk artifacts. Thread-safe; formation for one identity
+ * is serialized so concurrent engines binding the same program share
+ * one immutable set.
+ */
+class TraceCache
+{
+  public:
+    /** @p dir empty means util::profileCacheDir(). */
+    explicit TraceCache(std::string dir = "");
+
+    /**
+     * The set for @p program: from memory, else from disk, else
+     * formed (and persisted best-effort).
+     */
+    std::shared_ptr<const SuperblockSet> loadOrForm(
+        const isa::Program &program,
+        const SuperblockConfig &config = {});
+
+    /** On-disk path the set for @p program maps to. */
+    std::string pathFor(const isa::Program &program,
+                        const SuperblockConfig &config) const;
+
+    TraceCacheStats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const SuperblockSet>>
+        sets_;
+    TraceCacheStats stats_;
+};
+
+/** The process-wide cache every engine shares. */
+TraceCache &traceCache();
+
+} // namespace pgss::cpu
+
+#endif // PGSS_CPU_TRACE_CACHE_HH

@@ -341,6 +341,8 @@ registerRobustnessStats()
         "ckpt.record_aborted",    "cache.quarantined",
         "cache.store_failed",     "report.write_failed",
         "journal.torn_lines",     "net.retries",
+        "trace_cache.quarantined", "trace_cache.store_failed",
+        "trace_cache.hits",        "trace_cache.misses",
     };
     for (const char *name : robust_names)
         util::fi::counter(name);

@@ -52,6 +52,10 @@ spanCatName(SpanCat cat)
         return "bench";
       case SpanCat::Io:
         return "io";
+      case SpanCat::Decode:
+        return "decode";
+      case SpanCat::TraceForm:
+        return "trace-form";
       case SpanCat::Other:
         return "other";
     }
@@ -293,8 +297,8 @@ SpanProfiler::dumpProfileJson(JsonWriter &w) const
     // (name order); renderers re-sort by self time for display.
     std::map<std::string, SpanAgg> flat;
     std::map<std::pair<std::string, std::string>, SpanAgg> tree;
-    std::uint64_t cat_self_ns[8] = {};
-    std::uint64_t cat_ops[8] = {};
+    std::uint64_t cat_self_ns[span_cat_count] = {};
+    std::uint64_t cat_ops[span_cat_count] = {};
 
     const std::vector<const SpanBuffer *> bufs = buffers();
     for (const SpanBuffer *b : bufs) {

@@ -69,8 +69,13 @@ enum class SpanCat : std::uint8_t
     Cluster,    ///< k-means / projection work
     Bench,      ///< harness orchestration (per-entry, controllers)
     Io,         ///< profile-cache and artefact file traffic
+    Decode,     ///< instruction pre-decode (FastOp table build)
+    TraceForm,  ///< superblock CFG + trace formation
     Other,      ///< anything else
 };
+
+/** Number of SpanCat values (per-category aggregation arrays). */
+constexpr int span_cat_count = static_cast<int>(SpanCat::Other) + 1;
 
 /** Report/trace "cat" string for @p cat. */
 const char *spanCatName(SpanCat cat);
@@ -269,7 +274,8 @@ class ScopedSpan
 /**
  * Open a named span for the rest of the enclosing scope.
  * @p name: string literal; @p cat: bare SpanCat enumerator (Ff,
- * Detailed, Checkpoint, Cluster, Bench, Io, Other).
+ * Detailed, Checkpoint, Cluster, Bench, Io, Decode, TraceForm,
+ * Other).
  */
 #define PGSS_SPAN(name, cat)                                          \
     pgss::obs::ScopedSpan PGSS_SPAN_CONCAT(pgss_span_, __LINE__)(     \

@@ -41,6 +41,11 @@ class Group;
 struct PerfHandle;
 }
 
+namespace pgss::cpu
+{
+class SuperblockRunner;
+}
+
 namespace pgss::sim
 {
 
@@ -85,6 +90,23 @@ struct ModeOps
     }
 };
 
+/**
+ * Fast-forward execution backend (DESIGN.md section 14). Both
+ * backends produce bit-identical architectural state, BBV streams,
+ * and checkpoint deltas; they differ only in host speed, so the
+ * interpreter doubles as the differential-testing oracle for the
+ * superblock backend.
+ */
+enum class ExecBackend : std::uint8_t
+{
+    Default,    ///< resolve from PGSS_BACKEND ("interp" if unset)
+    Interp,     ///< pre-decoded FastOp interpreter loop
+    Superblock, ///< threaded-code superblock traces (cpu/superblock)
+};
+
+/** Stat/report identifier ("interp", "superblock"). */
+const char *backendName(ExecBackend backend);
+
 /** Everything configurable about the simulated machine. */
 struct EngineConfig
 {
@@ -92,6 +114,7 @@ struct EngineConfig
     timing::BranchUnitConfig branch;
     timing::PipelineConfig pipeline;
     bbv::HashedBbvConfig hashed_bbv;
+    ExecBackend backend = ExecBackend::Default;
 };
 
 /** Result of one run() call. */
@@ -108,6 +131,15 @@ class SimulationEngine
     /** Bind @p program (borrowed; must outlive the engine). */
     explicit SimulationEngine(const isa::Program &program,
                               const EngineConfig &config = {});
+
+    ~SimulationEngine(); // out-of-line: SuperblockRunner is incomplete
+
+    /** The resolved fast-forward backend (never Default). */
+    ExecBackend backend() const
+    {
+        return use_superblock_ ? ExecBackend::Superblock
+                               : ExecBackend::Interp;
+    }
 
     /**
      * Execute up to @p n instructions in @p mode; stops early at
@@ -203,6 +235,8 @@ class SimulationEngine
     template <bool with_bbv>
     std::uint64_t runFunctional(std::uint64_t n, bool warm);
     template <bool with_bbv>
+    std::uint64_t runSuperblock(std::uint64_t n);
+    template <bool with_bbv>
     std::uint64_t runDetailed(std::uint64_t n);
 
     void trackBbv(const cpu::DynInst &rec);
@@ -220,6 +254,10 @@ class SimulationEngine
     bool hashed_bbv_enabled_ = false;
     bool full_bbv_enabled_ = false;
     bool fast_path_enabled_ = true;
+    bool use_superblock_ = false;
+    /** Built lazily on the first superblock-backend chunk (the trace
+     *  cache makes this a load, not a formation, on warm runs). */
+    std::unique_ptr<cpu::SuperblockRunner> superblock_;
     std::uint64_t ops_since_taken_ = 0;
 
     std::uint64_t warm_fetch_line_ = ~0ull;

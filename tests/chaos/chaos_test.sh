@@ -95,6 +95,28 @@ report-enospc)
     [ ! -s stats.json ] || fail "stats.json was written despite injected report failure"
     ;;
 
+trace-flip)
+    # A flipped bit in a persisted superblock trace-cache file: the
+    # sealed-section CRC detects it, the file is quarantined as
+    # *.trace.corrupt, the traces reform transparently, and the rerun
+    # lands on the exact baseline output. Runs under the superblock
+    # backend so the trace cache is actually on the execution path.
+    export PGSS_BACKEND=superblock
+    baseline
+    find "$PGSS_PROFILE_CACHE" -name '*.trace' | grep -q . ||
+        fail "superblock baseline run stored no *.trace files"
+    PGSS_FI="site=cache.trace.load,mode=flip-nth:1" \
+        run_bench flip.out --stats-json=stats.json ||
+        fail "run under cache.trace.load flip failed (exit $?)"
+    cmp -s base.out flip.out || fail "output differs after trace cache corruption rebuild"
+    find "$work" -name '*.trace.corrupt' | grep -q . ||
+        fail "corrupt trace file was not quarantined as *.trace.corrupt"
+    grep -q '"trace.load_injected": *[1-9]' stats.json ||
+        fail "fi.cache.trace.load_injected did not tick in stats.json"
+    grep -q '"quarantined": *[1-9]' stats.json ||
+        fail "robust.trace_cache.quarantined did not tick in stats.json"
+    ;;
+
 sigkill-resume)
     # SIGKILL mid-suite, then --resume against the journal: finished
     # entries replay from their journaled payloads and the merged

@@ -95,6 +95,37 @@ TEST(BenchHistoryCli, MalformedBaselineIsExit3)
     std::remove(bad.c_str());
 }
 
+TEST(BenchHistoryCli, ModeMissingFromBaselineIsExit3)
+{
+    // A baseline that predates one of the report's perf modes (e.g.
+    // a new execution backend) must not silently skip that mode: the
+    // gate demands a refreshed baseline instead. golden_a.json times
+    // both functional_fast and detailed_measure; this baseline only
+    // knows the former.
+    const std::string bad =
+        "/tmp/pgss_test_partial_baseline_" +
+        std::to_string(::getpid()) + ".json";
+    std::ofstream(bad)
+        << "{\"schema\":\"pgss-bench-snapshot\",\"label\":\"old\","
+           "\"perf\":{\"mode.functional_fast\":{\"mips\":2.0}}}";
+    const RunResult res =
+        run(toolPath("pgss_bench_history") + " check " +
+            dataPath("golden_a.json") + " --baseline=" + bad);
+    EXPECT_EQ(res.exit_code, 3) << res.output;
+    EXPECT_NE(
+        res.output.find("perf.mode.detailed_measure.mips"),
+        std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("missing from baseline"),
+              std::string::npos)
+        << res.output;
+    // The error must tell the user exactly how to fix it.
+    EXPECT_NE(res.output.find("pgss_bench_history snapshot"),
+              std::string::npos)
+        << res.output;
+    std::remove(bad.c_str());
+}
+
 TEST(BenchHistoryCli, GoodBaselineStillPasses)
 {
     // A report checked against its own snapshot can never regress.

@@ -16,9 +16,11 @@
  *                                  perf.*.mips fell more than the
  *                                  tolerance below the baseline;
  *                                  exit 3 when the baseline itself is
- *                                  missing or malformed (a setup
- *                                  problem, not a perf regression —
- *                                  CI can tell the two apart)
+ *                                  missing, malformed, or lacks a
+ *                                  perf mode the report carries (a
+ *                                  setup problem, not a perf
+ *                                  regression — CI can tell the two
+ *                                  apart)
  *   pgss_bench_history list BENCH_*.json
  *                                  the trajectory: one row per
  *                                  snapshot, one column per mode MIPS
@@ -156,6 +158,38 @@ loadBaseline(const std::string &path, LoadedReport &out)
     return ok;
 }
 
+/**
+ * Every perf.<mode>.mips the report carries must exist in the
+ * baseline, or the gate would silently skip that mode — exactly the
+ * failure mode a new backend introduces (its key is absent from every
+ * older snapshot). Missing modes are a baseline-coverage problem
+ * (exit 3), not a regression.
+ */
+bool
+baselineCoversReportModes(const LoadedReport &report,
+                          const LoadedReport &baseline,
+                          const std::string &baseline_path)
+{
+    bool covered = true;
+    for (const auto &[path, v] : report.values) {
+        if (path.rfind("perf.", 0) != 0 || path.size() < 5 ||
+            path.compare(path.size() - 5, 5, ".mips") != 0)
+            continue;
+        if (!std::isfinite(v) || v <= 0.0)
+            continue; // untimed mode in this run: nothing to gate
+        if (std::isnan(baseline.value(path))) {
+            std::cerr << "pgss_bench_history: baseline "
+                      << baseline_path << " has no " << path
+                      << " (mode missing from baseline); refresh it "
+                         "with: pgss_bench_history snapshot "
+                         "<report.json> "
+                      << baseline_path << "\n";
+            covered = false;
+        }
+    }
+    return covered;
+}
+
 int
 cmdCheck(const std::string &report_path,
          const std::string &baseline_path, double tolerance)
@@ -164,6 +198,8 @@ cmdCheck(const std::string &report_path,
     if (!load(report_path, report))
         return 1;
     if (!loadBaseline(baseline_path, baseline))
+        return kExitBadBaseline;
+    if (!baselineCoversReportModes(report, baseline, baseline_path))
         return kExitBadBaseline;
     const CheckResult res = pgss::obs::checkAgainstBaseline(
         report, baseline, tolerance);
