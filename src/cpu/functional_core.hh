@@ -44,7 +44,7 @@ namespace detail
 inline double
 asDouble(std::uint64_t bits)
 {
-    double d;
+    double d = 0.0;
     std::memcpy(&d, &bits, sizeof(d));
     return d;
 }
@@ -52,7 +52,7 @@ asDouble(std::uint64_t bits)
 inline std::uint64_t
 asBits(double d)
 {
-    std::uint64_t bits;
+    std::uint64_t bits = 0;
     std::memcpy(&bits, &d, sizeof(bits));
     return bits;
 }

@@ -2,6 +2,7 @@
 
 #include "obs/spans.hh"
 #include "progcheck/cfg.hh"
+#include "tcheck/verify.hh"
 #include "util/logging.hh"
 
 namespace pgss::cpu
@@ -346,6 +347,8 @@ formSuperblocks(const isa::Program &program,
         }
 
         tr.len = ops;
+        tr.count = static_cast<std::uint32_t>(sb.pool.size()) -
+                   tr.first;
         util::panicIf(tr.len == 0, "superblock trace with no ops");
         sb.trace_head[cfg.blocks[b0].first] = b0;
 
@@ -365,6 +368,27 @@ formSuperblocks(const isa::Program &program,
             } else {
                 ++i;
             }
+        }
+    }
+
+    // Debug-mode backstop mirroring ProgramBuilder::finalize(): every
+    // formed set goes through the translation validator, so formation
+    // bugs (broken accounting, illegal skips, bad chain targets) fail
+    // at translation time instead of silently skewing the BBV stream.
+    if (tcheck::verifyOnForm()) {
+        const tcheck::Report report =
+            tcheck::verifyTraces(program, sb);
+        if (!report.clean()) {
+            for (const tcheck::Finding &f : report.findings) {
+                if (f.severity == tcheck::Severity::Error)
+                    util::warn("tcheck: %s: %s",
+                               program.name.c_str(),
+                               f.str().c_str());
+            }
+            util::panic("tcheck: traces for '%s' have %zu "
+                        "error-severity finding(s)",
+                        program.name.c_str(),
+                        report.count(tcheck::Severity::Error));
         }
     }
 

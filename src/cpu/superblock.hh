@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "cpu/functional_core.hh"
+#include "cpu/superblock_config.hh"
 #include "isa/program.hh"
 
 namespace pgss::cpu
@@ -166,13 +167,11 @@ struct Trace
 {
     std::uint32_t first = 0; ///< pool index of the first op
     std::uint32_t len = 0;   ///< real instructions (FallExit excluded)
-};
-
-/** Formation knobs. Participates in the trace-cache identity. */
-struct SuperblockConfig
-{
-    /** Instruction cap per trace (the first block always fits). */
-    std::uint32_t max_ops = 256;
+    std::uint32_t count = 0; ///< pool slots in the window (FallExit
+                             ///< included); windows tile the pool in
+                             ///< trace-id order, and the translation
+                             ///< validator (src/tcheck) walks exactly
+                             ///< [first, first + count)
 };
 
 /**

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Formation knobs for the superblock threaded-code backend, split
+ * from superblock.hh so light-weight users (sim::EngineConfig, the
+ * trace-cache identity) can carry a config by value without pulling
+ * in the dispatch-loop templates superblock.hh ends by including.
+ */
+
+#ifndef PGSS_CPU_SUPERBLOCK_CONFIG_HH
+#define PGSS_CPU_SUPERBLOCK_CONFIG_HH
+
+#include <cstdint>
+
+namespace pgss::cpu
+{
+
+/** Formation knobs. Participates in the trace-cache identity. */
+struct SuperblockConfig
+{
+    /** Instruction cap per trace (the first block always fits). */
+    std::uint32_t max_ops = 256;
+};
+
+} // namespace pgss::cpu
+
+#endif // PGSS_CPU_SUPERBLOCK_CONFIG_HH

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "obs/spans.hh"
+#include "tcheck/verify.hh"
 #include "util/atomic_file.hh"
 #include "util/env.hh"
 #include "util/fi.hh"
@@ -18,7 +19,8 @@ namespace
 
 constexpr std::uint32_t trace_magic = 0x50475452; // "PGTR"
 // v2: fused superinstruction kinds (PGSS_TC_PAIR_LIST) in pools.
-constexpr std::uint32_t trace_version = 2;
+// v3: Trace::count (window provenance for the tcheck validator).
+constexpr std::uint32_t trace_version = 3;
 
 // Fault sites named by the chaos contract: .load corrupts the raw
 // bytes a read returns (CRC validation is what must catch it), .store
@@ -86,6 +88,7 @@ serializeSuperblocks(const SuperblockSet &sb, std::uint64_t identity)
     for (const Trace &t : sb.traces) {
         w.putU32(t.first);
         w.putU32(t.len);
+        w.putU32(t.count);
     }
     w.putSectionCrc(); // traces
 
@@ -140,6 +143,7 @@ deserializeSuperblocks(const std::vector<std::uint8_t> &data,
     for (Trace &t : sb.traces) {
         t.first = r.getU32();
         t.len = r.getU32();
+        t.count = r.getU32();
     }
     if (!r.checkSectionCrc()) {
         err = r.error();
@@ -187,6 +191,20 @@ deserializeSuperblocks(const std::vector<std::uint8_t> &data,
              t.target >= ntraces))
             valid = false;
     }
+    // Trace windows tile the pool back-to-back in id order; the
+    // tcheck validator and the fused-pair checks index [first,
+    // first + count) on that assumption.
+    std::uint32_t edge = 0;
+    for (const Trace &t : sb.traces) {
+        if (t.first != edge || t.count == 0 ||
+            npool - edge < t.count) {
+            valid = false;
+            break;
+        }
+        edge += t.count;
+    }
+    if (edge != npool)
+        valid = false;
     const auto isExit = [](TKind k) {
         return k == TKind::JalExit || k == TKind::JalrExit ||
                k == TKind::HaltExit || k == TKind::FallExit;
@@ -273,6 +291,28 @@ TraceCache::loadOrForm(const isa::Program &program,
             util::ReadError err;
             SuperblockSet sb =
                 deserializeSuperblocks(bytes, identity, err);
+            if (err == util::ReadError::None &&
+                tcheck::verifyOnLoad()) {
+                // A cache file's CRCs vouch for its bytes, not its
+                // semantics: a set formed by a buggy (or future)
+                // translator can be structurally sound yet disagree
+                // with the program. Decode-time validation treats
+                // that exactly like damage.
+                const tcheck::Report report =
+                    tcheck::verifyTraces(program, sb);
+                if (!report.clean()) {
+                    err = util::ReadError::Corrupt;
+                    ++stats_.verify_rejected;
+                    ++util::fi::counter(
+                        "trace_cache.verify_rejected");
+                    util::warn(
+                        "trace cache file %s is semantically stale "
+                        "(%zu error(s), first: %s)",
+                        path.c_str(),
+                        report.count(tcheck::Severity::Error),
+                        report.findings.front().str().c_str());
+                }
+            }
             if (err == util::ReadError::None) {
                 util::verbose("trace cache hit: %s", path.c_str());
                 ++stats_.disk_hits;

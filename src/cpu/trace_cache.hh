@@ -64,6 +64,9 @@ struct TraceCacheStats
     std::uint64_t misses = 0;       ///< formed from scratch
     std::uint64_t quarantined = 0;  ///< corrupt files set aside
     std::uint64_t store_failed = 0; ///< formed but not persisted
+    std::uint64_t verify_rejected = 0; ///< CRC-valid loads the tcheck
+                                       ///< validator rejected (also
+                                       ///< counted in quarantined)
 };
 
 /**

@@ -343,6 +343,7 @@ registerRobustnessStats()
         "journal.torn_lines",     "net.retries",
         "trace_cache.quarantined", "trace_cache.store_failed",
         "trace_cache.hits",        "trace_cache.misses",
+        "trace_cache.verify_rejected",
     };
     for (const char *name : robust_names)
         util::fi::counter(name);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/json.hh"
 #include "util/logging.hh"
 
 namespace pgss::progcheck
@@ -33,6 +34,24 @@ constexpr std::array<std::string_view,
     }};
 
 } // anonymous namespace
+
+std::string
+findingsEnvelope(std::string_view tool,
+                 const std::vector<std::string> &programs)
+{
+    std::string out = "{\"schema\":\"pgss-findings\",\"version\":";
+    out += std::to_string(findings_schema_version);
+    out += ",\"tool\":\"";
+    out += obs::jsonEscape(std::string(tool));
+    out += "\",\"programs\":[";
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += programs[i];
+    }
+    out += "]}";
+    return out;
+}
 
 std::string_view
 checkName(Check check)

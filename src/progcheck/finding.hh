@@ -17,6 +17,27 @@
 namespace pgss::progcheck
 {
 
+/**
+ * Version of the finding-JSON envelope shared by every static
+ * analyzer CLI (pgss_lint, pgss_tracecheck):
+ *   {"schema": "pgss-findings", "version": N, "tool": ...,
+ *    "programs": [<per-program report objects>]}
+ * Each program object carries "program", "code_size", "errors",
+ * "warnings" and a "findings" array of {"code", "severity", "pc",
+ * "message"} objects (tcheck findings add "trace"). pgss_report's
+ * `findings` subcommand renders any artifact with this schema.
+ *
+ * v2: envelope introduced (v1 was pgss_lint's bare report array).
+ */
+constexpr std::uint32_t findings_schema_version = 2;
+
+/**
+ * Wrap pre-rendered per-program report objects (reportJson output)
+ * into the shared envelope under @p tool's name.
+ */
+std::string findingsEnvelope(std::string_view tool,
+                             const std::vector<std::string> &programs);
+
 /** How bad a finding is. Errors fail pgss_lint and the CI gate. */
 enum class Severity : std::uint8_t
 {

@@ -191,7 +191,8 @@ SimulationEngine::runSuperblock(std::uint64_t n)
 {
     if (!superblock_) {
         superblock_ = std::make_unique<cpu::SuperblockRunner>(
-            *core_, cpu::traceCache().loadOrForm(program_));
+            *core_, cpu::traceCache().loadOrForm(
+                        program_, config_.superblock));
     }
     // The same three callback shapes as the interpreter fast path
     // below; the backends must stay drop-in replacements for each

@@ -29,6 +29,7 @@
 #include "bbv/full_bbv.hh"
 #include "bbv/hashed_bbv.hh"
 #include "cpu/functional_core.hh"
+#include "cpu/superblock_config.hh"
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
 #include "mem/main_memory.hh"
@@ -115,6 +116,9 @@ struct EngineConfig
     timing::PipelineConfig pipeline;
     bbv::HashedBbvConfig hashed_bbv;
     ExecBackend backend = ExecBackend::Default;
+    /** Trace formation knobs for the superblock backend; part of the
+     * trace-cache identity, so distinct configs never share sets. */
+    cpu::SuperblockConfig superblock;
 };
 
 /** Result of one run() call. */

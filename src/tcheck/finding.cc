@@ -1,0 +1,83 @@
+#include "tcheck/finding.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.hh"
+
+namespace pgss::tcheck
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(Check::NumChecks)>
+    check_names = {{
+        "trace.entry-map",
+        "trace.block-last",
+        "trace.op-cap",
+        "trace.no-exit",
+        "trace.exit-placement",
+        "trace.len",
+        "trace.op-mismatch",
+        "trace.bad-pc",
+        "trace.cum",
+        "trace.aux",
+        "trace.skip-target",
+        "trace.skip-over-control",
+        "trace.unroll",
+        "trace.fused-pair",
+        "trace.chain-target",
+    }};
+
+} // anonymous namespace
+
+std::string_view
+checkName(Check check)
+{
+    const auto idx = static_cast<std::size_t>(check);
+    util::panicIf(idx >= check_names.size(),
+                  "tcheck::checkName: check out of range");
+    return check_names[idx];
+}
+
+std::string
+Finding::str() const
+{
+    std::string out;
+    out += progcheck::severityName(severity);
+    out += ' ';
+    out += checkName(check);
+    out += " t";
+    out += std::to_string(trace);
+    out += " @";
+    out += std::to_string(pc);
+    out += ": ";
+    out += message;
+    return out;
+}
+
+std::size_t
+Report::count(Severity severity) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        findings.begin(), findings.end(),
+        [severity](const Finding &f) { return f.severity == severity; }));
+}
+
+void
+Report::sort()
+{
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.trace != b.trace)
+                             return a.trace < b.trace;
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return static_cast<int>(a.check) <
+                                static_cast<int>(b.check);
+                     });
+}
+
+} // namespace pgss::tcheck

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Finding vocabulary of the trace translation validator. Mirrors
+ * src/progcheck's finding layer (same severity scale, same dotted
+ * stable-code convention, same JSON shape) but anchors each finding
+ * to a (trace id, source pc) pair instead of a bare pc — a trace
+ * defect is meaningless without naming the trace it lives in.
+ * DESIGN.md section 15 documents each code.
+ */
+
+#ifndef PGSS_TCHECK_FINDING_HH
+#define PGSS_TCHECK_FINDING_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "progcheck/finding.hh"
+
+namespace pgss::tcheck
+{
+
+/** Shared severity scale with the program verifier. */
+using progcheck::Severity;
+
+/** Shared finding-JSON envelope (see progcheck/finding.hh). */
+using progcheck::findings_schema_version;
+using progcheck::findingsEnvelope;
+
+/** Stable finding codes, one per distinct trace-defect class. */
+enum class Check : std::uint8_t
+{
+    // Set-level structure.
+    EntryMap,      ///< trace_head/leader/trace table disagree
+    BlockLast,     ///< block_last disagrees with the rebuilt CFG
+    OpCap,         ///< multi-block trace exceeds config.max_ops
+    NoExit,        ///< trace window does not end in an exit op
+    ExitPlacement, ///< exit/FallExit op before the window's last slot
+    Len,           ///< Trace::len is not the window's real-op count
+
+    // Per-op translation.
+    OpMismatch,    ///< TOp kind/registers/immediate != source inst
+    BadPc,         ///< op's source pc out of range / not successive
+
+    // Accounting contract.
+    Cum,           ///< cum is not the ops-from-entry count
+    Aux,           ///< aux is not the ops-since-reset count
+
+    // Dispatch transformations.
+    SkipTarget,    ///< skip delta does not land on the branch target
+    SkipOverControl, ///< skip hops a non-plain (control/exit) slot
+    Unroll,        ///< inverted latch: continuation/side exit wrong
+    FusedPair,     ///< fused op's second slot is not the declared pair
+    ChainTarget,   ///< exit chains to a trace that is not the target's
+                   ///< leader trace
+
+    NumChecks
+};
+
+/** Stable dotted name of @p check, e.g. "trace.skip-target". */
+std::string_view checkName(Check check);
+
+/** One defect, anchored to a trace and a source instruction. */
+struct Finding
+{
+    Check check = Check::NumChecks;
+    Severity severity = Severity::Info;
+    std::uint32_t trace = 0; ///< trace id the defect lives in
+    std::uint64_t pc = 0;    ///< anchor source instruction index
+    std::string message;     ///< human-readable detail
+
+    /** Render as "error trace.skip-target t17 @12: ...". */
+    std::string str() const;
+};
+
+/** The validator's result for one program's formed set. */
+struct Report
+{
+    std::string program;            ///< program name
+    std::size_t code_size = 0;      ///< static instructions
+    std::size_t num_traces = 0;     ///< traces validated
+    std::size_t pool_size = 0;      ///< pool ops validated
+    std::vector<Finding> findings;  ///< sorted by (trace, pc, code)
+
+    /** Count findings at @p severity. */
+    std::size_t count(Severity severity) const;
+
+    /** True when no error-severity finding was reported. */
+    bool clean() const { return count(Severity::Error) == 0; }
+
+    /** Sort findings by (trace, pc, code) for deterministic output. */
+    void sort();
+};
+
+} // namespace pgss::tcheck
+
+#endif // PGSS_TCHECK_FINDING_HH

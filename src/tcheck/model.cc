@@ -1,0 +1,187 @@
+#include "tcheck/model.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace pgss::tcheck
+{
+
+namespace
+{
+
+using cpu::TKind;
+using isa::Opcode;
+
+constexpr auto first_fused =
+    static_cast<std::uint8_t>(TKind::FallExit) + 1;
+
+constexpr bool
+inRange(TKind kind, TKind lo, TKind hi)
+{
+    return static_cast<std::uint8_t>(kind) >=
+               static_cast<std::uint8_t>(lo) &&
+           static_cast<std::uint8_t>(kind) <=
+               static_cast<std::uint8_t>(hi);
+}
+
+/**
+ * Branch opcode of a conditional kind, given the first kind of its
+ * family (CondBeq / CondInBeq / CondSkipBeq): the four comparisons
+ * repeat in Beq, Bne, Blt, Bge order in each family.
+ */
+Opcode
+condOpcode(TKind kind, TKind family_base)
+{
+    const auto off = static_cast<std::uint8_t>(kind) -
+                     static_cast<std::uint8_t>(family_base);
+    return static_cast<Opcode>(static_cast<std::uint8_t>(Opcode::Beq) +
+                               off);
+}
+
+constexpr std::array<std::string_view, first_fused> base_names = {{
+    "Add",  "Sub",  "And",  "Or",   "Xor",  "Sll",  "Srl",  "Sra",
+    "Slt",  "Addi", "Andi", "Ori",  "Xori", "Slti", "Lui",  "Mul",
+    "Div",  "Fadd", "Fmul", "Fdiv", "Ld",   "St",   "Nop",
+    "CondBeq",     "CondBne",     "CondBlt",     "CondBge",
+    "CondInBeq",   "CondInBne",   "CondInBlt",   "CondInBge",
+    "CondSkipBeq", "CondSkipBne", "CondSkipBlt", "CondSkipBge",
+    "JalIn", "JalExit", "JalrExit", "HaltExit", "FallExit",
+}};
+
+} // anonymous namespace
+
+OpClass
+classify(TKind kind)
+{
+    if (kind <= TKind::Nop)
+        return OpClass::Plain;
+    if (inRange(kind, TKind::CondBeq, TKind::CondBge))
+        return OpClass::Cond;
+    if (inRange(kind, TKind::CondInBeq, TKind::CondInBge))
+        return OpClass::CondIn;
+    if (inRange(kind, TKind::CondSkipBeq, TKind::CondSkipBge))
+        return OpClass::CondSkip;
+    switch (kind) {
+      case TKind::JalIn:
+        return OpClass::JalIn;
+      case TKind::JalExit:
+        return OpClass::JalExit;
+      case TKind::JalrExit:
+        return OpClass::JalrExit;
+      case TKind::HaltExit:
+        return OpClass::HaltExit;
+      case TKind::FallExit:
+        return OpClass::FallExit;
+      default:
+        break;
+    }
+    if (isFused(kind))
+        return classify(fusedFirst(kind));
+    return OpClass::Invalid;
+}
+
+bool
+isFused(TKind kind)
+{
+    return static_cast<std::uint8_t>(kind) >= first_fused &&
+           kind < TKind::kind_count_;
+}
+
+TKind
+fusedFirst(TKind kind)
+{
+    switch (kind) {
+#define PGSS_TC_PAIR_FIRST(a, b)                                       \
+      case TKind::F_##a##_##b:                                         \
+        return TKind::a;
+        PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_FIRST)
+#undef PGSS_TC_PAIR_FIRST
+      default:
+        util::panic("tcheck::fusedFirst: kind is not fused");
+    }
+}
+
+TKind
+fusedSecond(TKind kind)
+{
+    switch (kind) {
+#define PGSS_TC_PAIR_SECOND(a, b)                                      \
+      case TKind::F_##a##_##b:                                         \
+        return TKind::b;
+        PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_SECOND)
+#undef PGSS_TC_PAIR_SECOND
+      default:
+        util::panic("tcheck::fusedSecond: kind is not fused");
+    }
+}
+
+Opcode
+sourceOpcode(TKind kind, bool *ok)
+{
+    if (ok != nullptr)
+        *ok = true;
+    // The interior kinds Add..St deliberately mirror the opcode
+    // enumerators index for index; Nop sits later in Opcode because
+    // the opcode list groups branches before it.
+    if (kind < TKind::Nop)
+        return static_cast<Opcode>(kind);
+    if (kind == TKind::Nop)
+        return Opcode::Nop;
+    if (inRange(kind, TKind::CondBeq, TKind::CondBge))
+        return condOpcode(kind, TKind::CondBeq);
+    if (inRange(kind, TKind::CondInBeq, TKind::CondInBge))
+        return condOpcode(kind, TKind::CondInBeq);
+    if (inRange(kind, TKind::CondSkipBeq, TKind::CondSkipBge))
+        return condOpcode(kind, TKind::CondSkipBeq);
+    switch (kind) {
+      case TKind::JalIn:
+      case TKind::JalExit:
+        return Opcode::Jal;
+      case TKind::JalrExit:
+        return Opcode::Jalr;
+      case TKind::HaltExit:
+        return Opcode::Halt;
+      default:
+        break;
+    }
+    if (isFused(kind))
+        return sourceOpcode(fusedFirst(kind), ok);
+    if (ok != nullptr)
+        *ok = false;
+    return Opcode::Nop;
+}
+
+std::string_view
+tkindName(TKind kind)
+{
+    const auto idx = static_cast<std::size_t>(kind);
+    if (idx < base_names.size())
+        return base_names[idx];
+    switch (kind) {
+#define PGSS_TC_PAIR_NAME(a, b)                                        \
+      case TKind::F_##a##_##b:                                         \
+        return "F_" #a "_" #b;
+        PGSS_TC_PAIR_LIST(PGSS_TC_PAIR_NAME)
+#undef PGSS_TC_PAIR_NAME
+      default:
+        return "<invalid>";
+    }
+}
+
+bool
+skippable(TKind kind, bool partner_is_landing)
+{
+    if (kind <= TKind::Nop)
+        return true;
+    if (!isFused(kind))
+        return false;
+    // Fused firsts are plain by the pair list's constraint; the pair's
+    // second half executes inside the hopped region unless it is the
+    // landing slot itself (then it runs through its own stored kind).
+    if (partner_is_landing)
+        return true;
+    return fusedSecond(kind) <= TKind::Nop;
+}
+
+} // namespace pgss::tcheck

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The abstract-effect model of the superblock IR: for every TKind,
+ * what the dispatch loop in cpu/superblock_exec.hh does with it —
+ * which source opcode it must translate, how it advances through the
+ * trace, whether it reports a taken transfer, resets the
+ * ops-since-taken origin, or exits. The symbolic executor in
+ * verify.cc consumes this classification instead of switching on raw
+ * TKind values, so the semantic rules live in exactly one place and
+ * the fused superinstruction kinds decompose transparently.
+ */
+
+#ifndef PGSS_TCHECK_MODEL_HH
+#define PGSS_TCHECK_MODEL_HH
+
+#include <string_view>
+
+#include "cpu/superblock.hh"
+#include "isa/opcodes.hh"
+
+namespace pgss::tcheck
+{
+
+/**
+ * How one TOp relates to its trace, as the dispatch loop executes it.
+ * Fused kinds classify by their *first* component; the second slot of
+ * the pair carries its own kind and classifies itself.
+ */
+enum class OpClass : std::uint8_t
+{
+    Plain,    ///< interior ALU/memory op; falls into the next slot
+    Cond,     ///< conditional branch; taken is a chained side exit
+    CondIn,   ///< inverted branch; taken continues, not-taken exits
+    CondSkip, ///< in-trace skip; taken hops target slots forward
+    JalIn,    ///< direct call/jump continuing inside the trace
+    JalExit,  ///< direct call/jump exiting the trace
+    JalrExit, ///< indirect jump; always exits, computed target
+    HaltExit, ///< Halt; ends trace and program
+    FallExit, ///< zero-instruction fall-through pseudo-op
+    Invalid,  ///< out-of-range kind value (corrupt data)
+};
+
+/** Classify @p kind; fused kinds classify as their first component. */
+OpClass classify(cpu::TKind kind);
+
+/** True when @p kind is a fused superinstruction (F_a_b). */
+bool isFused(cpu::TKind kind);
+
+/**
+ * First component of fused @p kind (always a plain kind by the pair
+ * list's constraint). Panics when @p kind is not fused.
+ */
+cpu::TKind fusedFirst(cpu::TKind kind);
+
+/**
+ * Declared second component of fused @p kind — the kind the slot
+ * after it must store, because the fused handler jumps directly into
+ * that handler. Panics when @p kind is not fused.
+ */
+cpu::TKind fusedSecond(cpu::TKind kind);
+
+/**
+ * The source opcode @p kind translates: the plain opcode for interior
+ * kinds (fused kinds answer for their first component), the branch
+ * opcode for the Cond/CondIn/CondSkip families, Jal/Jalr/Halt for the
+ * transfer kinds. FallExit (no source instruction) and invalid values
+ * return Opcode::Nop with *ok set false.
+ */
+isa::Opcode sourceOpcode(cpu::TKind kind, bool *ok = nullptr);
+
+/** Stable enumerator name ("CondSkipBne", "F_Addi_CondBne", ...). */
+std::string_view tkindName(cpu::TKind kind);
+
+/**
+ * True when @p kind, stored in a slot an in-trace skip hops over, is
+ * legal to skip: the slot must be plain as stored or fused-of-plain —
+ * never a control op, a reset point, or an exit, whose static cum/aux
+ * bookkeeping the runtime skip correction cannot repair. A fused slot
+ * is skippable only when its *second* component is also plain, since
+ * a pair fully inside the hopped region would otherwise hide a
+ * control op behind the fused kind. (A fused slot whose pair partner
+ * is the skip's landing slot is still legal: the partner executes
+ * through its own stored kind.)
+ */
+bool skippable(cpu::TKind kind, bool partner_is_landing);
+
+} // namespace pgss::tcheck
+
+#endif // PGSS_TCHECK_MODEL_HH

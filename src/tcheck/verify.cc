@@ -1,0 +1,644 @@
+#include "tcheck/verify.hh"
+
+#include <ostream>
+#include <string>
+
+#include "obs/json.hh"
+#include "progcheck/cfg.hh"
+#include "tcheck/model.hh"
+#include "util/env.hh"
+
+namespace pgss::tcheck
+{
+
+namespace
+{
+
+using cpu::no_trace;
+using cpu::SuperblockSet;
+using cpu::TKind;
+using cpu::TOp;
+
+std::string
+kindStr(TKind kind)
+{
+    return std::string(tkindName(kind));
+}
+
+/**
+ * One verification run: set-level structure first, then a symbolic
+ * walk per trace. The walk is linear, not exponential: DESIGN.md
+ * section 15 proves that once the cum/aux fields are sequential
+ * (Cum/Aux checks), the hopped region of every skip is plain
+ * (SkipOverControl), and each skip lands on its branch target
+ * (SkipTarget), the runtime correction counters reproduce the
+ * interpreter's (branch pc, ops-since-taken) pairs on *every* path,
+ * so per-slot checks along the formation path cover all of them.
+ */
+class Checker
+{
+  public:
+    Checker(const isa::Program &prog, const SuperblockSet &sb,
+            const progcheck::Cfg &cfg, const Options &opt,
+            Report &report)
+        : prog_(prog), sb_(sb), cfg_(cfg), opt_(opt), report_(report),
+          code_size_(static_cast<std::uint32_t>(prog.code.size()))
+    {
+    }
+
+    void
+    run()
+    {
+        if (checkStructure()) {
+            for (std::uint32_t t = 0;
+                 t < sb_.traces.size() && !full(); ++t)
+                checkTrace(t);
+        }
+        report_.sort();
+        if (report_.findings.size() > opt_.max_findings)
+            report_.findings.resize(opt_.max_findings);
+    }
+
+  private:
+    bool
+    full() const
+    {
+        return report_.findings.size() >= opt_.max_findings;
+    }
+
+    void
+    add(Check check, Severity sev, std::uint32_t trace,
+        std::uint64_t pc, std::string msg)
+    {
+        if (!full())
+            report_.findings.push_back(
+                {check, sev, trace, pc, std::move(msg)});
+    }
+
+    void
+    err(Check check, std::uint32_t trace, std::uint64_t pc,
+        std::string msg)
+    {
+        add(check, Severity::Error, trace, pc, std::move(msg));
+    }
+
+    void
+    warn(Check check, std::uint32_t trace, std::uint64_t pc,
+         std::string msg)
+    {
+        add(check, Severity::Warning, trace, pc, std::move(msg));
+    }
+
+    /**
+     * Set-level invariants. @return false when the tables are too
+     * inconsistent for the per-trace walks to index safely.
+     */
+    bool
+    checkStructure()
+    {
+        const std::size_t nblocks = cfg_.blocks.size();
+        bool walkable = true;
+
+        if (sb_.traces.size() != nblocks) {
+            err(Check::EntryMap, 0, 0,
+                "set has " + std::to_string(sb_.traces.size()) +
+                    " traces for " + std::to_string(nblocks) +
+                    " CFG blocks");
+            walkable = false;
+        }
+        if (sb_.trace_head.size() != code_size_) {
+            err(Check::EntryMap, 0, 0,
+                "trace_head covers " +
+                    std::to_string(sb_.trace_head.size()) + " of " +
+                    std::to_string(code_size_) + " instructions");
+            walkable = false;
+        }
+        if (sb_.block_last.size() != code_size_) {
+            err(Check::BlockLast, 0, 0,
+                "block_last covers " +
+                    std::to_string(sb_.block_last.size()) + " of " +
+                    std::to_string(code_size_) + " instructions");
+            walkable = false;
+        }
+        if (!walkable)
+            return false;
+
+        // Window tiling: formation lays trace windows out
+        // back-to-back in id order, and both the executor's chain
+        // entries and this walk rely on [first, first+count) being a
+        // well-formed window.
+        std::uint32_t edge = 0;
+        for (std::uint32_t t = 0; t < sb_.traces.size() && !full();
+             ++t) {
+            const cpu::Trace &tr = sb_.traces[t];
+            if (tr.first != edge || tr.count == 0) {
+                err(Check::EntryMap, t, cfg_.blocks[t].first,
+                    "window [" + std::to_string(tr.first) + ", +" +
+                        std::to_string(tr.count) +
+                        ") does not tile the pool (expected first " +
+                        std::to_string(edge) + ")");
+                return false;
+            }
+            edge += tr.count;
+            if (edge > sb_.pool.size()) {
+                err(Check::EntryMap, t, cfg_.blocks[t].first,
+                    "window runs past the pool (" +
+                        std::to_string(edge) + " > " +
+                        std::to_string(sb_.pool.size()) + " ops)");
+                return false;
+            }
+        }
+        if (edge != sb_.pool.size()) {
+            err(Check::EntryMap, 0, 0,
+                "windows cover " + std::to_string(edge) + " of " +
+                    std::to_string(sb_.pool.size()) + " pool ops");
+            return false;
+        }
+
+        for (std::uint32_t pc = 0; pc < code_size_ && !full(); ++pc) {
+            const std::uint32_t blk = cfg_.block_of[pc];
+            const bool leader = cfg_.blocks[blk].first == pc;
+            const std::uint32_t head = sb_.trace_head[pc];
+            if (leader && head != blk) {
+                err(Check::EntryMap, blk, pc,
+                    "leader maps to trace " +
+                        (head == no_trace ? std::string("<none>")
+                                          : std::to_string(head)) +
+                        ", expected " + std::to_string(blk));
+            } else if (!leader && head != no_trace) {
+                err(Check::EntryMap, head, pc,
+                    "non-leader instruction maps to trace " +
+                        std::to_string(head));
+            }
+            if (sb_.block_last[pc] != cfg_.blocks[blk].last) {
+                err(Check::BlockLast, blk, pc,
+                    "block_last " +
+                        std::to_string(sb_.block_last[pc]) +
+                        ", expected " +
+                        std::to_string(cfg_.blocks[blk].last));
+            }
+        }
+        return true;
+    }
+
+    /** Expected TOp register fields (the formation r0 remap). */
+    static std::uint8_t
+    expectRd(const isa::Instruction &inst)
+    {
+        return inst.rd == isa::reg_zero
+                   ? static_cast<std::uint8_t>(isa::num_regs)
+                   : inst.rd;
+    }
+
+    void
+    checkField(std::uint32_t t, const TOp &op, const char *name,
+               std::uint64_t got, std::uint64_t want)
+    {
+        if (got != want)
+            err(Check::OpMismatch, t, op.pc,
+                std::string(name) + " " + std::to_string(got) +
+                    ", source instruction has " +
+                    std::to_string(want));
+    }
+
+    /**
+     * Check that op.target chains to the trace whose leader is the
+     * source-level transfer target @p tpc.
+     */
+    void
+    checkChain(Check code, std::uint32_t t, std::uint64_t pc,
+               std::uint32_t target, std::uint32_t tpc)
+    {
+        if (tpc >= code_size_) {
+            err(code, t, pc,
+                "transfer target @" + std::to_string(tpc) +
+                    " outside the program");
+            return;
+        }
+        const std::uint32_t want = cfg_.block_of[tpc];
+        if (target != want || cfg_.blocks[want].first != tpc) {
+            err(code, t, pc,
+                "chains to trace " +
+                    (target == no_trace ? std::string("<none>")
+                                        : std::to_string(target)) +
+                    ", target @" + std::to_string(tpc) +
+                    (cfg_.blocks[want].first == tpc
+                         ? " leads trace " + std::to_string(want)
+                         : " is not a leader"));
+        }
+    }
+
+    /** Skip legality: landing slot and the plainness of the hop. */
+    void
+    checkSkip(std::uint32_t t, std::uint32_t slot, std::uint32_t wend,
+              const TOp &op, std::uint32_t tpc)
+    {
+        const std::uint32_t delta = op.target;
+        if (delta == 0 || slot + delta >= wend) {
+            err(Check::SkipTarget, t, op.pc,
+                "skip of " + std::to_string(delta) +
+                    " slots leaves the trace window");
+            return;
+        }
+        const TOp &landing = sb_.pool[slot + delta];
+        if (classify(landing.kind) == OpClass::FallExit ||
+            landing.pc != tpc) {
+            err(Check::SkipTarget, t, op.pc,
+                "skip lands on @" + std::to_string(landing.pc) +
+                    " (" + kindStr(landing.kind) +
+                    "), branch targets @" + std::to_string(tpc));
+            return;
+        }
+        for (std::uint32_t j = slot + 1; j < slot + delta; ++j) {
+            const TOp &hop = sb_.pool[j];
+            const bool partner_is_landing = j + 1 == slot + delta;
+            if (!skippable(hop.kind, partner_is_landing)) {
+                err(Check::SkipOverControl, t, hop.pc,
+                    "skip from @" + std::to_string(op.pc) +
+                        " hops a " + kindStr(hop.kind) +
+                        " op; only plain ops keep the correction "
+                        "counters exact");
+            }
+        }
+    }
+
+    /**
+     * The symbolic walk: follow trace @p t's window op by op along
+     * the formation path (not-taken through side exits and skips,
+     * taken through latches and in-trace calls), mirroring the
+     * interpreter over the source program.
+     */
+    void
+    checkTrace(std::uint32_t t)
+    {
+        const cpu::Trace &tr = sb_.traces[t];
+        const std::uint32_t wfirst = tr.first;
+        const std::uint32_t wend = tr.first + tr.count;
+        const std::uint32_t leader = cfg_.blocks[t].first;
+
+        std::uint32_t expected_pc = leader;
+        std::uint32_t ops = 0;     // real instructions walked (cum)
+        std::uint32_t sinceop = 0; // ops since the last reset (aux)
+        bool terminated = false;
+        bool bailed = false;
+
+        for (std::uint32_t i = wfirst; i < wend && !full();) {
+            const TOp &op = sb_.pool[i];
+            const OpClass cls = classify(op.kind);
+            if (cls == OpClass::Invalid) {
+                err(Check::OpMismatch, t, op.pc,
+                    "invalid kind value " +
+                        std::to_string(
+                            static_cast<unsigned>(op.kind)));
+                bailed = true;
+                break;
+            }
+
+            if (cls == OpClass::FallExit) {
+                if (i + 1 != wend) {
+                    err(Check::ExitPlacement, t, op.pc,
+                        "FallExit " + std::to_string(wend - i - 1) +
+                            " slots before the window end");
+                }
+                if (op.cum != ops)
+                    err(Check::Cum, t, op.pc,
+                        "FallExit cum " + std::to_string(op.cum) +
+                            ", walked " + std::to_string(ops) +
+                            " ops");
+                if (op.aux != sinceop)
+                    err(Check::Aux, t, op.pc,
+                        "FallExit aux " + std::to_string(op.aux) +
+                            ", walked " + std::to_string(sinceop) +
+                            " ops since the last reset");
+                const auto fall_pc =
+                    static_cast<std::uint32_t>(op.imm);
+                if (fall_pc != expected_pc) {
+                    err(Check::ChainTarget, t, op.pc,
+                        "FallExit resumes @" +
+                            std::to_string(fall_pc) +
+                            ", the walk reached @" +
+                            std::to_string(expected_pc));
+                } else if (fall_pc >= code_size_) {
+                    if (op.target != no_trace)
+                        err(Check::ChainTarget, t, op.pc,
+                            "FallExit past the program chains to "
+                            "trace " +
+                                std::to_string(op.target));
+                } else {
+                    checkChain(Check::ChainTarget, t, op.pc,
+                               op.target, fall_pc);
+                }
+                terminated = true;
+                break;
+            }
+
+            // A real op: must translate the instruction the walk
+            // expects next.
+            if (op.pc >= code_size_) {
+                err(Check::BadPc, t, op.pc,
+                    "op source pc outside the program");
+                bailed = true;
+                break;
+            }
+            if (op.pc != expected_pc) {
+                err(Check::BadPc, t, op.pc,
+                    "op translates @" + std::to_string(op.pc) +
+                        ", the walk expects @" +
+                        std::to_string(expected_pc));
+                bailed = true;
+                break;
+            }
+            const isa::Instruction &inst = prog_.code[op.pc];
+            ++ops;
+            ++sinceop;
+            if (op.cum != ops)
+                err(Check::Cum, t, op.pc,
+                    "cum " + std::to_string(op.cum) + ", op is " +
+                        std::to_string(ops) + " from the entry");
+            if (op.aux != sinceop)
+                err(Check::Aux, t, op.pc,
+                    "aux " + std::to_string(op.aux) + ", op is " +
+                        std::to_string(sinceop) +
+                        " from the last reset");
+
+            TKind sk = op.kind;
+            if (isFused(op.kind)) {
+                sk = fusedFirst(op.kind);
+                if (i + 1 >= wend) {
+                    err(Check::FusedPair, t, op.pc,
+                        kindStr(op.kind) +
+                            " at the window end has no second slot");
+                } else if (sb_.pool[i + 1].kind !=
+                           fusedSecond(op.kind)) {
+                    err(Check::FusedPair, t, op.pc,
+                        kindStr(op.kind) + " followed by " +
+                            kindStr(sb_.pool[i + 1].kind) +
+                            ", handler dispatches into " +
+                            kindStr(fusedSecond(op.kind)));
+                }
+            }
+
+            bool known = true;
+            const isa::Opcode want = sourceOpcode(sk, &known);
+            if (!known || want != inst.op) {
+                err(Check::OpMismatch, t, op.pc,
+                    kindStr(op.kind) + " translates " +
+                        std::string(isa::mnemonic(want)) +
+                        ", source instruction is " +
+                        std::string(isa::mnemonic(inst.op)));
+            }
+
+            const auto tpc = static_cast<std::uint32_t>(inst.imm);
+            switch (classify(sk)) {
+              case OpClass::Plain:
+                checkField(t, op, "rd", op.rd, expectRd(inst));
+                checkField(t, op, "rs1", op.rs1, inst.rs1);
+                checkField(t, op, "rs2", op.rs2, inst.rs2);
+                checkField(t, op, "imm",
+                           static_cast<std::uint64_t>(op.imm),
+                           static_cast<std::uint64_t>(inst.imm));
+                expected_pc = op.pc + 1;
+                break;
+              case OpClass::Cond:
+                checkField(t, op, "rs1", op.rs1, inst.rs1);
+                checkField(t, op, "rs2", op.rs2, inst.rs2);
+                checkField(t, op, "imm",
+                           static_cast<std::uint64_t>(op.imm),
+                           static_cast<std::uint64_t>(inst.imm));
+                checkChain(Check::ChainTarget, t, op.pc, op.target,
+                           tpc);
+                expected_pc = op.pc + 1;
+                break;
+              case OpClass::CondIn:
+                checkField(t, op, "rs1", op.rs1, inst.rs1);
+                checkField(t, op, "rs2", op.rs2, inst.rs2);
+                // The unrolled latch: taken continues into the
+                // target's ops, not-taken side-exits through the
+                // FallExit path at the fall-through pc.
+                if (static_cast<std::uint32_t>(op.imm) != op.pc + 1) {
+                    err(Check::Unroll, t, op.pc,
+                        "inverted branch side exit resumes @" +
+                            std::to_string(op.imm) +
+                            ", fall-through is @" +
+                            std::to_string(op.pc + 1));
+                } else if (op.pc + 1 >= code_size_) {
+                    if (op.target != no_trace)
+                        err(Check::Unroll, t, op.pc,
+                            "side exit past the program chains to "
+                            "trace " +
+                                std::to_string(op.target));
+                } else {
+                    checkChain(Check::Unroll, t, op.pc, op.target,
+                               op.pc + 1);
+                }
+                if (tpc >= code_size_) {
+                    err(Check::Unroll, t, op.pc,
+                        "latch target @" + std::to_string(tpc) +
+                            " outside the program");
+                    bailed = true;
+                } else {
+                    expected_pc = tpc; // the walk takes the latch
+                    sinceop = 0;       // taken resets the origin
+                }
+                break;
+              case OpClass::CondSkip:
+                checkField(t, op, "rs1", op.rs1, inst.rs1);
+                checkField(t, op, "rs2", op.rs2, inst.rs2);
+                if (static_cast<std::uint32_t>(op.imm) != tpc)
+                    warn(Check::OpMismatch, t, op.pc,
+                         "skip imm " + std::to_string(op.imm) +
+                             " differs from the branch target @" +
+                             std::to_string(tpc) +
+                             " (field unread by dispatch)");
+                checkSkip(t, i, wend, op, tpc);
+                // The walk continues not-taken; the hopped slots are
+                // the same ops it visits next.
+                expected_pc = op.pc + 1;
+                break;
+              case OpClass::JalIn:
+                checkField(t, op, "rd", op.rd, expectRd(inst));
+                checkField(t, op, "imm",
+                           static_cast<std::uint64_t>(op.imm),
+                           static_cast<std::uint64_t>(inst.imm));
+                if (tpc >= code_size_) {
+                    err(Check::ChainTarget, t, op.pc,
+                        "in-trace call target @" +
+                            std::to_string(tpc) +
+                            " outside the program");
+                    bailed = true;
+                } else {
+                    if (op.target != cfg_.block_of[tpc])
+                        warn(Check::ChainTarget, t, op.pc,
+                             "JalIn target field names trace " +
+                                 std::to_string(op.target) +
+                                 ", call continues in-trace into "
+                                 "block " +
+                                 std::to_string(cfg_.block_of[tpc]) +
+                                 " (field unread by dispatch)");
+                    expected_pc = tpc;
+                    sinceop = 0; // taken resets the origin
+                }
+                break;
+              case OpClass::JalExit:
+                checkField(t, op, "rd", op.rd, expectRd(inst));
+                checkField(t, op, "imm",
+                           static_cast<std::uint64_t>(op.imm),
+                           static_cast<std::uint64_t>(inst.imm));
+                checkChain(Check::ChainTarget, t, op.pc, op.target,
+                           tpc);
+                terminated = true;
+                break;
+              case OpClass::JalrExit:
+                checkField(t, op, "rd", op.rd, expectRd(inst));
+                checkField(t, op, "rs1", op.rs1, inst.rs1);
+                checkField(t, op, "imm",
+                           static_cast<std::uint64_t>(op.imm),
+                           static_cast<std::uint64_t>(inst.imm));
+                if (op.target != no_trace)
+                    warn(Check::ChainTarget, t, op.pc,
+                         "indirect exit carries static chain target " +
+                             std::to_string(op.target) +
+                             " (field unread by dispatch)");
+                terminated = true;
+                break;
+              case OpClass::HaltExit:
+                terminated = true;
+                break;
+              case OpClass::FallExit:
+              case OpClass::Invalid:
+                break; // handled above
+            }
+
+            if (terminated) {
+                if (i + 1 != wend)
+                    err(Check::ExitPlacement, t, op.pc,
+                        kindStr(op.kind) + " exit " +
+                            std::to_string(wend - i - 1) +
+                            " slots before the window end");
+                break;
+            }
+            if (bailed)
+                break;
+            ++i;
+        }
+
+        if (full())
+            return;
+        if (!terminated && !bailed)
+            err(Check::NoExit, t, leader,
+                "window ends without a trace exit op");
+        if (bailed)
+            return;
+
+        if (tr.len != ops)
+            err(Check::Len, t, leader,
+                "len " + std::to_string(tr.len) + ", window holds " +
+                    std::to_string(ops) + " real ops");
+        // Formation checks the op budget at every extension, so only
+        // a single oversized entry block may legally exceed it.
+        if (ops > sb_.config.max_ops &&
+            ops != cfg_.blocks[t].size()) {
+            err(Check::OpCap, t, leader,
+                "multi-block trace holds " + std::to_string(ops) +
+                    " ops, cap is " +
+                    std::to_string(sb_.config.max_ops));
+        }
+    }
+
+    const isa::Program &prog_;
+    const SuperblockSet &sb_;
+    const progcheck::Cfg &cfg_;
+    const Options &opt_;
+    Report &report_;
+    const std::uint32_t code_size_;
+};
+
+} // anonymous namespace
+
+Report
+verifyTraces(const isa::Program &program,
+             const cpu::SuperblockSet &set, const Options &opt)
+{
+    Report report;
+    report.program = program.name;
+    report.code_size = program.code.size();
+    report.num_traces = set.traces.size();
+    report.pool_size = set.pool.size();
+    if (program.code.empty()) {
+        if (!set.traces.empty() || !set.pool.empty())
+            report.findings.push_back(
+                {Check::EntryMap, Severity::Error, 0, 0,
+                 "set holds traces for an empty program"});
+        return report;
+    }
+
+    const progcheck::Cfg cfg = progcheck::buildCfg(program);
+    Checker(program, set, cfg, opt, report).run();
+    return report;
+}
+
+void
+renderText(std::ostream &os, const Report &report)
+{
+    os << report.program << ": " << report.num_traces << " traces, "
+       << report.pool_size << " pool ops over " << report.code_size
+       << " instructions, " << report.count(Severity::Error)
+       << " error(s), " << report.count(Severity::Warning)
+       << " warning(s)\n";
+    for (const Finding &f : report.findings)
+        os << "  " << f.str() << "\n";
+}
+
+std::string
+reportJson(const Report &report)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("program", report.program);
+    w.field("code_size",
+            static_cast<std::uint64_t>(report.code_size));
+    w.field("num_traces",
+            static_cast<std::uint64_t>(report.num_traces));
+    w.field("pool_size",
+            static_cast<std::uint64_t>(report.pool_size));
+    w.field("errors",
+            static_cast<std::uint64_t>(report.count(Severity::Error)));
+    w.field("warnings", static_cast<std::uint64_t>(
+                            report.count(Severity::Warning)));
+    w.beginArray("findings");
+    for (const Finding &f : report.findings) {
+        w.beginObject();
+        w.field("code", std::string(checkName(f.check)));
+        w.field("severity",
+                std::string(progcheck::severityName(f.severity)));
+        w.field("trace", static_cast<std::uint64_t>(f.trace));
+        w.field("pc", f.pc);
+        w.field("message", f.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+verifyOnForm()
+{
+#ifdef NDEBUG
+    const char *def = "0";
+#else
+    const char *def = "1";
+#endif
+    const std::string v = util::envString("PGSS_VERIFY_TRACES", def);
+    return v == "1" || v == "on" || v == "ON";
+}
+
+bool
+verifyOnLoad()
+{
+    const std::string v =
+        util::envString("PGSS_VERIFY_TRACE_LOADS", "1");
+    return !(v == "0" || v == "off" || v == "OFF");
+}
+
+} // namespace pgss::tcheck

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Entry point of the trace translation validator: statically proves a
+ * formed SuperblockSet equivalent to its source isa::Program by
+ * walking every trace window alongside the program (DESIGN.md
+ * section 15 derives the invariants). Three consumers share it:
+ *
+ *  - tools/pgss_tracecheck, the CLI (text and JSON findings, nonzero
+ *    exit on error-severity findings);
+ *  - formSuperblocksChecked() / the trace cache, which verify every
+ *    formed set when PGSS_VERIFY_TRACES is enabled (default: debug
+ *    builds) and every cold-loaded set unconditionally, so a
+ *    CRC-valid but semantically stale *.trace file is caught and
+ *    reformed;
+ *  - the tcheck test suite, which asserts exact finding codes on
+ *    seeded-mutation fixtures and a clean bill for the suite
+ *    workloads.
+ */
+
+#ifndef PGSS_TCHECK_VERIFY_HH
+#define PGSS_TCHECK_VERIFY_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cpu/superblock.hh"
+#include "tcheck/finding.hh"
+
+namespace pgss::tcheck
+{
+
+/** Validator knobs. */
+struct Options
+{
+    /** Stop after this many findings (corrupt pools can explode). */
+    std::size_t max_findings = 1000;
+};
+
+/**
+ * Statically validate @p set against @p program: structural
+ * invariants over the whole set (leader/entry-map consistency, window
+ * tiling, op cap), then one symbolic walk per trace checking every op
+ * translation, the cum/aux accounting contract, and the four dispatch
+ * transformations (in-trace skips, inverted latches, fused pairs,
+ * chained exit targets).
+ */
+Report verifyTraces(const isa::Program &program,
+                    const cpu::SuperblockSet &set,
+                    const Options &opt = {});
+
+/** Render @p report as human-readable text, one finding per line. */
+void renderText(std::ostream &os, const Report &report);
+
+/**
+ * Render @p report as the per-program object of the shared finding
+ * envelope: {"program", "code_size", "num_traces", "pool_size",
+ * "errors", "warnings", "findings": [{"code", "severity", "trace",
+ * "pc", "message"}, ...]}.
+ */
+std::string reportJson(const Report &report);
+
+/**
+ * True when formation-time verification is enabled: the
+ * PGSS_VERIFY_TRACES environment variable ("0"/"off" disables,
+ * "1"/"on" forces), defaulting to on in debug builds (NDEBUG unset)
+ * and off otherwise — the same contract as progcheck::verifyOnBuild.
+ */
+bool verifyOnForm();
+
+/**
+ * True when decode-time verification of cold trace-cache loads is
+ * enabled (PGSS_VERIFY_TRACE_LOADS, default on in every build — a
+ * cache file's CRC cannot vouch for its semantics).
+ */
+bool verifyOnLoad();
+
+} // namespace pgss::tcheck
+
+#endif // PGSS_TCHECK_VERIFY_HH

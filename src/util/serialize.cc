@@ -43,7 +43,7 @@ BinaryWriter::putI64(std::int64_t v)
 void
 BinaryWriter::putDouble(double v)
 {
-    std::uint64_t bits;
+    std::uint64_t bits = 0;
     std::memcpy(&bits, &v, sizeof(bits));
     putU64(bits);
 }
@@ -176,7 +176,7 @@ double
 BinaryReader::getDouble()
 {
     std::uint64_t bits = getU64();
-    double v;
+    double v = 0.0;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
 }

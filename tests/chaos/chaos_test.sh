@@ -117,6 +117,32 @@ trace-flip)
         fail "robust.trace_cache.quarantined did not tick in stats.json"
     ;;
 
+trace-stale)
+    # A version-bumped (stale) trace-cache file is yesterday's format,
+    # not damage: the rerun must reform and re-persist silently — exit
+    # 0, byte-identical output, no *.corrupt quarantine — and the
+    # stored file must come back at the current format version.
+    export PGSS_BACKEND=superblock
+    baseline
+    files="$(find "$PGSS_PROFILE_CACHE" -name '*.trace')"
+    [ -n "$files" ] || fail "superblock baseline run stored no *.trace files"
+    for f in $files; do
+        printf '\xff' | dd of="$f" bs=1 seek=4 count=1 conv=notrunc 2>/dev/null ||
+            fail "could not patch version field of $f"
+    done
+    run_bench stale.out --stats-json=stats.json ||
+        fail "run over stale trace cache failed (exit $?)"
+    cmp -s base.out stale.out || fail "output differs after stale trace reform"
+    [ "$(corrupt_files)" -eq 0 ] || fail "stale trace file was quarantined ($(corrupt_files) *.corrupt file(s))"
+    grep -q '"quarantined": *[1-9]' stats.json &&
+        fail "robust quarantine counters ticked for a stale file"
+    for f in $files; do
+        ver="$(od -An -tu1 -j4 -N1 "$f" | tr -d ' ')"
+        [ "$ver" != "255" ] ||
+            fail "stale trace file $f was not re-persisted at the current version"
+    done
+    ;;
+
 sigkill-resume)
     # SIGKILL mid-suite, then --resume against the journal: finished
     # entries replay from their journaled payloads and the merged

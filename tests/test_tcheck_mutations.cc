@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Seeded-mutation self-test for the trace translation validator:
+ * each mutation class a translator bug could produce (wrong cum/aux
+ * accounting, a skip that hops the wrong region or a non-plain op, a
+ * bad chain target, a corrupted inverted latch, a swapped fused pair,
+ * a truncated trace window) is applied to a correctly formed set, and
+ * the validator must report it with the exact (code, trace id, pc) —
+ * not merely "something failed somewhere".
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cpu/superblock.hh"
+#include "tcheck/model.hh"
+#include "tcheck/verify.hh"
+#include "tests/helpers.hh"
+
+using namespace pgss;
+using cpu::SuperblockSet;
+using cpu::TKind;
+using tcheck::Check;
+using tcheck::Severity;
+
+namespace
+{
+
+/** The skip fixture: forward Beq over plain ops (one a store). */
+isa::Program
+skipProgram()
+{
+    using isa::Opcode;
+    workload::ProgramBuilder b("skipfix");
+    const std::uint64_t buf = b.allocData(64);
+    b.loadImm(4, buf);
+    b.emit(Opcode::Addi, 2, 0, 0, 5);
+    const std::uint32_t br = b.emitBranch(Opcode::Beq, 2, 0);
+    b.emit(Opcode::Addi, 3, 0, 0, 1);
+    b.emit(Opcode::St, 0, 4, 3, 0); // the store inside the hop
+    b.emit(Opcode::Addi, 3, 3, 0, 1);
+    b.patchTarget(br, b.here());
+    b.emit(Opcode::Add, 5, 3, 2, 0);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+/** A loop whose final block holds two instructions (Addi; Halt), so
+ * truncating the last window leaves real ops with no exit. */
+isa::Program
+tailProgram()
+{
+    using isa::Opcode;
+    workload::ProgramBuilder b("tailfix");
+    b.emit(Opcode::Addi, 2, 0, 0, 3);
+    b.emit(Opcode::Addi, 3, 0, 0, 0);
+    const std::uint32_t loop = b.here();
+    b.emit(Opcode::Add, 3, 3, 2, 0);
+    b.emit(Opcode::Addi, 2, 2, 0, -1);
+    const std::uint32_t br = b.emitBranch(Opcode::Bne, 2, 0);
+    b.patchTarget(br, loop);
+    b.emit(Opcode::Addi, 5, 3, 0, 0);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+isa::Program
+fusedProgram()
+{
+    using isa::Opcode;
+    workload::ProgramBuilder b("fusedfix");
+    b.emit(Opcode::Addi, 2, 0, 0, 1);
+    b.emit(Opcode::Addi, 3, 0, 0, 2);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+/** The trace whose window holds pool slot @p slot. */
+std::uint32_t
+traceOf(const SuperblockSet &sb, std::uint32_t slot)
+{
+    for (std::uint32_t t = 0; t < sb.traces.size(); ++t)
+        if (slot >= sb.traces[t].first &&
+            slot < sb.traces[t].first + sb.traces[t].count)
+            return t;
+    ADD_FAILURE() << "slot " << slot << " outside every window";
+    return cpu::no_trace;
+}
+
+/** First pool slot matching @p pred; asserts one exists. */
+template <typename Pred>
+std::uint32_t
+findSlot(const SuperblockSet &sb, Pred pred, const char *what)
+{
+    for (std::uint32_t i = 0; i < sb.pool.size(); ++i)
+        if (pred(sb.pool[i]))
+            return i;
+    ADD_FAILURE() << "fixture formed no " << what << " op";
+    return 0;
+}
+
+/** True when @p report holds @p check at exactly (trace, pc). */
+bool
+reportedAt(const tcheck::Report &report, Check check,
+           std::uint32_t trace, std::uint64_t pc)
+{
+    for (const tcheck::Finding &f : report.findings)
+        if (f.check == check && f.severity == Severity::Error &&
+            f.trace == trace && f.pc == pc)
+            return true;
+    return false;
+}
+
+std::string
+dump(const tcheck::Report &report)
+{
+    std::string out;
+    for (const tcheck::Finding &f : report.findings)
+        out += f.str() + "\n";
+    return out.empty() ? "<no findings>" : out;
+}
+
+} // anonymous namespace
+
+TEST(TcheckMutations, WrongCum)
+{
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t slot = sb.traces[0].first + 1;
+    ASSERT_NE(sb.pool[slot].kind, TKind::FallExit);
+    sb.pool[slot].cum += 1;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::Cum, 0, sb.pool[slot].pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, WrongAux)
+{
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t slot = sb.traces[0].first + 1;
+    ASSERT_NE(sb.pool[slot].kind, TKind::FallExit);
+    sb.pool[slot].aux += 3;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::Aux, 0, sb.pool[slot].pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, SkipLandsPastTheStore)
+{
+    // Shrinking the skip delta lands the hop one slot short: the
+    // store it was formed to hop over now sits on the landing slot
+    // instead of the branch target.
+    const isa::Program prog = skipProgram();
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t slot = findSlot(
+        sb,
+        [](const cpu::TOp &op) {
+            return op.kind == TKind::CondSkipBeq;
+        },
+        "CondSkipBeq");
+    const std::uint32_t t = traceOf(sb, slot);
+    sb.pool[slot].target -= 1;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::SkipTarget, t,
+                           sb.pool[slot].pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, SkipLeavesTheWindow)
+{
+    const isa::Program prog = skipProgram();
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t slot = findSlot(
+        sb,
+        [](const cpu::TOp &op) {
+            return op.kind == TKind::CondSkipBeq;
+        },
+        "CondSkipBeq");
+    const std::uint32_t t = traceOf(sb, slot);
+    sb.pool[slot].target += 1000;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::SkipTarget, t,
+                           sb.pool[slot].pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, SkipOverControlOp)
+{
+    // Rewriting the hopped store's slot into a branch kind makes the
+    // hop region non-plain: the skip's correction algebra would go
+    // wrong on the taken path, and the validator must anchor the
+    // finding to the hopped op itself.
+    const isa::Program prog = skipProgram();
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t skip = findSlot(
+        sb,
+        [](const cpu::TOp &op) {
+            return op.kind == TKind::CondSkipBeq;
+        },
+        "CondSkipBeq");
+    const std::uint32_t t = traceOf(sb, skip);
+    // The store's slot inside this trace's hop region.
+    const std::uint32_t st_pc = sb.pool[skip].pc + 2;
+    std::uint32_t st_slot = 0;
+    for (std::uint32_t i = skip + 1;
+         i < skip + sb.pool[skip].target; ++i)
+        if (sb.pool[i].pc == st_pc)
+            st_slot = i;
+    ASSERT_NE(st_slot, 0u) << "store not inside the hop region";
+    sb.pool[st_slot].kind = TKind::CondBeq;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(
+        reportedAt(report, Check::SkipOverControl, t, st_pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, BadChainTarget)
+{
+    // A tight cap forces a budget FallExit whose chain we can bend.
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb =
+        cpu::formSuperblocks(prog, cpu::SuperblockConfig{4});
+    const std::uint32_t slot = findSlot(
+        sb,
+        [](const cpu::TOp &op) {
+            return op.kind == TKind::FallExit;
+        },
+        "FallExit");
+    const std::uint32_t t = traceOf(sb, slot);
+    ASSERT_GE(sb.traces.size(), 2u);
+    sb.pool[slot].target =
+        (sb.pool[slot].target + 1) %
+        static_cast<std::uint32_t>(sb.traces.size());
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::ChainTarget, t,
+                           sb.pool[slot].pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, InvertedLatchBadSideExit)
+{
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t slot = findSlot(
+        sb,
+        [](const cpu::TOp &op) {
+            return tcheck::classify(op.kind) ==
+                   tcheck::OpClass::CondIn;
+        },
+        "CondIn");
+    const std::uint32_t t = traceOf(sb, slot);
+    sb.pool[slot].imm += 1; // side exit no longer the fall-through
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(
+        reportedAt(report, Check::Unroll, t, sb.pool[slot].pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, InvertedLatchBadChain)
+{
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t slot = findSlot(
+        sb,
+        [](const cpu::TOp &op) {
+            return tcheck::classify(op.kind) ==
+                   tcheck::OpClass::CondIn;
+        },
+        "CondIn");
+    const std::uint32_t t = traceOf(sb, slot);
+    ASSERT_GE(sb.traces.size(), 2u);
+    sb.pool[slot].target =
+        (sb.pool[slot].target + 1) %
+        static_cast<std::uint32_t>(sb.traces.size());
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(
+        reportedAt(report, Check::Unroll, t, sb.pool[slot].pc))
+        << dump(report);
+}
+
+TEST(TcheckMutations, SwappedFusedPair)
+{
+    // F_Addi_Addi rewritten to F_Addi_St: the handler would execute
+    // the first Addi then jump into the St label while the second
+    // slot still holds an Addi.
+    const isa::Program prog = fusedProgram();
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    ASSERT_EQ(sb.pool[0].kind, TKind::F_Addi_Addi);
+    sb.pool[0].kind = TKind::F_Addi_St;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::FusedPair, 0, 0))
+        << dump(report);
+}
+
+TEST(TcheckMutations, SwappedFusedPairOrder)
+{
+    // F_St_Addi (the reversed pair) executes a store where the
+    // source program has an Addi: an op-mismatch, not a pair defect.
+    const isa::Program prog = fusedProgram();
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    ASSERT_EQ(sb.pool[0].kind, TKind::F_Addi_Addi);
+    sb.pool[0].kind = TKind::F_St_Addi;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::OpMismatch, 0, 0))
+        << dump(report);
+}
+
+TEST(TcheckMutations, TruncatedTrace)
+{
+    const isa::Program prog = tailProgram();
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    // The final trace is the two-instruction tail block.
+    const std::uint32_t t =
+        static_cast<std::uint32_t>(sb.traces.size()) - 1;
+    ASSERT_EQ(sb.traces[t].count, 2u);
+    const std::uint32_t leader =
+        sb.pool[sb.traces[t].first].pc;
+    sb.pool.pop_back();
+    sb.traces[t].count -= 1;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(reportedAt(report, Check::NoExit, t, leader))
+        << dump(report);
+    // The stored len no longer matches the surviving window either.
+    EXPECT_TRUE(reportedAt(report, Check::Len, t, leader))
+        << dump(report);
+}
+
+TEST(TcheckMutations, BadPcBreaksTheWalk)
+{
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    const std::uint32_t slot = sb.traces[0].first + 1;
+    ASSERT_NE(sb.pool[slot].kind, TKind::FallExit);
+    const std::uint32_t good_pc = sb.pool[slot].pc;
+    sb.pool[slot].pc = good_pc + 1;
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(
+        reportedAt(report, Check::BadPc, 0, good_pc + 1))
+        << dump(report);
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the trace translation validator (src/tcheck): a clean
+ * bill of health over every suite workload and over hand-built
+ * fixtures that provably exercise each dispatch transformation
+ * (in-trace skips, inverted latches, fused pairs), the finding JSON
+ * shape and shared envelope, and the env gates that wire the
+ * validator into formation and cache loads.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/superblock.hh"
+#include "obs/json_read.hh"
+#include "tcheck/model.hh"
+#include "tcheck/verify.hh"
+#include "tests/helpers.hh"
+#include "workload/suite.hh"
+
+using namespace pgss;
+using cpu::SuperblockSet;
+using cpu::TKind;
+using tcheck::Check;
+using tcheck::Severity;
+
+namespace
+{
+
+/**
+ * A program whose only branch is a forward conditional over plain
+ * ops (one of them a real store) into a later block of the same
+ * trace — the exact shape formation patches into an in-trace skip.
+ */
+isa::Program
+skipProgram()
+{
+    using isa::Opcode;
+    workload::ProgramBuilder b("skipfix");
+    const std::uint64_t buf = b.allocData(64);
+    b.loadImm(4, buf);                      // r4 = data base
+    b.emit(Opcode::Addi, 2, 0, 0, 5);       // r2 = 5
+    const std::uint32_t br = b.emitBranch(Opcode::Beq, 2, 0);
+    b.emit(Opcode::Addi, 3, 0, 0, 1);       // hopped region:
+    b.emit(Opcode::St, 0, 4, 3, 0);         //   a store,
+    b.emit(Opcode::Addi, 3, 3, 0, 1);       //   more plain ops
+    b.patchTarget(br, b.here());
+    b.emit(Opcode::Add, 5, 3, 2, 0);        // landing block
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+/** Two fusable Addis and a Halt: the minimal fused-pair trace. */
+isa::Program
+fusedProgram()
+{
+    using isa::Opcode;
+    workload::ProgramBuilder b("fusedfix");
+    b.emit(Opcode::Addi, 2, 0, 0, 1);
+    b.emit(Opcode::Addi, 3, 0, 0, 2);
+    b.emit(Opcode::Halt, 0, 0, 0, 0);
+    return b.finalize(0);
+}
+
+bool
+poolHas(const SuperblockSet &sb, TKind kind)
+{
+    for (const cpu::TOp &op : sb.pool)
+        if (op.kind == kind)
+            return true;
+    return false;
+}
+
+bool
+poolHasClass(const SuperblockSet &sb, tcheck::OpClass cls)
+{
+    for (const cpu::TOp &op : sb.pool)
+        if (tcheck::classify(op.kind) == cls)
+            return true;
+    return false;
+}
+
+} // anonymous namespace
+
+TEST(TcheckVerify, CleanOnEverySuiteWorkloadAndConfig)
+{
+    // Every workload, two formation configs (the default cap and a
+    // tight one that forces early FallExits): zero error findings.
+    bool saw_fused = false;
+    bool saw_latch = false;
+    for (const std::string &name : workload::suiteNames()) {
+        const auto built = workload::buildWorkload(name, 0.02);
+        for (std::uint32_t cap : {256u, 64u}) {
+            const SuperblockSet sb = cpu::formSuperblocks(
+                built.program, cpu::SuperblockConfig{cap});
+            const tcheck::Report report =
+                tcheck::verifyTraces(built.program, sb);
+            EXPECT_TRUE(report.clean())
+                << name << " cap=" << cap << ": "
+                << (report.findings.empty()
+                        ? std::string("?")
+                        : report.findings.front().str());
+            EXPECT_EQ(report.num_traces, sb.traces.size());
+            EXPECT_EQ(report.pool_size, sb.pool.size());
+            for (const cpu::TOp &op : sb.pool)
+                saw_fused = saw_fused || tcheck::isFused(op.kind);
+            saw_latch = saw_latch ||
+                        poolHasClass(sb, tcheck::OpClass::CondIn);
+        }
+    }
+    // The suite sweep must actually exercise the transformed kinds,
+    // or the clean bill proves nothing.
+    EXPECT_TRUE(saw_fused);
+    EXPECT_TRUE(saw_latch);
+}
+
+TEST(TcheckVerify, CleanOnLatchUnrollFixture)
+{
+    const isa::Program prog = test::sumProgram(8);
+    // The backward Bne latch must form an inverted in-trace branch.
+    const SuperblockSet sb = cpu::formSuperblocks(prog);
+    EXPECT_TRUE(poolHasClass(sb, tcheck::OpClass::CondIn));
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(report.clean())
+        << (report.findings.empty()
+                ? std::string("?")
+                : report.findings.front().str());
+
+    // A tight cap rejects the fall-through extension, so the entry
+    // trace must end in a budget FallExit — and still verify clean.
+    const SuperblockSet tight =
+        cpu::formSuperblocks(prog, cpu::SuperblockConfig{4});
+    EXPECT_TRUE(poolHas(tight, TKind::FallExit));
+    EXPECT_TRUE(tcheck::verifyTraces(prog, tight).clean());
+}
+
+TEST(TcheckVerify, CleanOnSkipFixture)
+{
+    const isa::Program prog = skipProgram();
+    const SuperblockSet sb = cpu::formSuperblocks(prog);
+    EXPECT_TRUE(poolHas(sb, TKind::CondSkipBeq));
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(report.clean())
+        << (report.findings.empty()
+                ? std::string("?")
+                : report.findings.front().str());
+}
+
+TEST(TcheckVerify, CleanOnFusedFixture)
+{
+    const isa::Program prog = fusedProgram();
+    const SuperblockSet sb = cpu::formSuperblocks(prog);
+    ASSERT_FALSE(sb.pool.empty());
+    EXPECT_EQ(sb.pool[0].kind, TKind::F_Addi_Addi);
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(TcheckVerify, EmptyProgramEmptySetIsClean)
+{
+    isa::Program prog;
+    prog.name = "empty";
+    SuperblockSet sb;
+    EXPECT_TRUE(tcheck::verifyTraces(prog, sb).clean());
+
+    // A nonempty set against an empty program is a defect.
+    sb.pool.push_back({});
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].check, Check::EntryMap);
+    EXPECT_EQ(report.findings[0].severity, Severity::Error);
+}
+
+TEST(TcheckVerify, FindingStrAndCheckNames)
+{
+    tcheck::Finding f;
+    f.check = Check::SkipTarget;
+    f.severity = Severity::Error;
+    f.trace = 17;
+    f.pc = 12;
+    f.message = "boom";
+    EXPECT_EQ(f.str(), "error trace.skip-target t17 @12: boom");
+    EXPECT_EQ(tcheck::checkName(Check::Cum), "trace.cum");
+    EXPECT_EQ(tcheck::checkName(Check::FusedPair),
+              "trace.fused-pair");
+}
+
+TEST(TcheckVerify, MaxFindingsTruncatesReport)
+{
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    ASSERT_GE(sb.traces[0].count, 3u);
+    sb.pool[sb.traces[0].first].cum += 1;
+    sb.pool[sb.traces[0].first + 1].cum += 1;
+    tcheck::Options opt;
+    opt.max_findings = 1;
+    const tcheck::Report report =
+        tcheck::verifyTraces(prog, sb, opt);
+    EXPECT_EQ(report.findings.size(), 1u);
+    EXPECT_FALSE(report.clean());
+}
+
+TEST(TcheckVerify, ReportJsonShape)
+{
+    const isa::Program prog = test::sumProgram(8);
+    SuperblockSet sb = cpu::formSuperblocks(prog);
+    sb.pool[sb.traces[0].first].cum += 1; // one deliberate defect
+
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+    ASSERT_FALSE(report.clean());
+
+    obs::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::parseJson(tcheck::reportJson(report), doc, &err))
+        << err;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.get("program")->string, "sum");
+    EXPECT_EQ(doc.get("code_size")->asUint(), prog.code.size());
+    EXPECT_EQ(doc.get("num_traces")->asUint(), sb.traces.size());
+    EXPECT_EQ(doc.get("pool_size")->asUint(), sb.pool.size());
+    EXPECT_GE(doc.get("errors")->asUint(), 1u);
+
+    const obs::JsonValue *findings = doc.get("findings");
+    ASSERT_NE(findings, nullptr);
+    ASSERT_TRUE(findings->isArray());
+    ASSERT_FALSE(findings->array.empty());
+    const obs::JsonValue &f = findings->array[0];
+    EXPECT_EQ(f.get("code")->string, "trace.cum");
+    EXPECT_EQ(f.get("severity")->string, "error");
+    ASSERT_NE(f.get("trace"), nullptr);
+    ASSERT_NE(f.get("pc"), nullptr);
+    ASSERT_NE(f.get("message"), nullptr);
+}
+
+TEST(TcheckVerify, FindingsEnvelopeSharedWithLint)
+{
+    const isa::Program prog = test::sumProgram(8);
+    const SuperblockSet sb = cpu::formSuperblocks(prog);
+    const tcheck::Report report = tcheck::verifyTraces(prog, sb);
+
+    const std::string envelope = tcheck::findingsEnvelope(
+        "pgss_tracecheck", {tcheck::reportJson(report)});
+    obs::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::parseJson(envelope, doc, &err)) << err;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.get("schema")->string, "pgss-findings");
+    EXPECT_EQ(doc.get("version")->asUint(),
+              tcheck::findings_schema_version);
+    EXPECT_EQ(doc.get("tool")->string, "pgss_tracecheck");
+    const obs::JsonValue *programs = doc.get("programs");
+    ASSERT_NE(programs, nullptr);
+    ASSERT_TRUE(programs->isArray());
+    ASSERT_EQ(programs->array.size(), 1u);
+    EXPECT_EQ(programs->array[0].get("program")->string, "sum");
+}
+
+TEST(TcheckVerify, EnvGates)
+{
+    // verifyOnForm: explicit values win regardless of build type.
+    ASSERT_EQ(setenv("PGSS_VERIFY_TRACES", "1", 1), 0);
+    EXPECT_TRUE(tcheck::verifyOnForm());
+    ASSERT_EQ(setenv("PGSS_VERIFY_TRACES", "0", 1), 0);
+    EXPECT_FALSE(tcheck::verifyOnForm());
+    ASSERT_EQ(setenv("PGSS_VERIFY_TRACES", "on", 1), 0);
+    EXPECT_TRUE(tcheck::verifyOnForm());
+    ASSERT_EQ(unsetenv("PGSS_VERIFY_TRACES"), 0);
+
+    // verifyOnLoad: default on in every build type, 0/off disables.
+    ASSERT_EQ(unsetenv("PGSS_VERIFY_TRACE_LOADS"), 0);
+    EXPECT_TRUE(tcheck::verifyOnLoad());
+    ASSERT_EQ(setenv("PGSS_VERIFY_TRACE_LOADS", "0", 1), 0);
+    EXPECT_FALSE(tcheck::verifyOnLoad());
+    ASSERT_EQ(setenv("PGSS_VERIFY_TRACE_LOADS", "off", 1), 0);
+    EXPECT_FALSE(tcheck::verifyOnLoad());
+    ASSERT_EQ(setenv("PGSS_VERIFY_TRACE_LOADS", "1", 1), 0);
+    EXPECT_TRUE(tcheck::verifyOnLoad());
+    ASSERT_EQ(unsetenv("PGSS_VERIFY_TRACE_LOADS"), 0);
+}

@@ -7,7 +7,8 @@
  *   pgss_lint                        lint all ten suite workloads
  *   pgss_lint ammp crafty            lint a subset
  *   pgss_lint --input 2 --scale 0.5  pick input set / build scale
- *   pgss_lint --json                 machine-readable findings
+ *   pgss_lint --json                 machine-readable findings (the
+ *                                    shared pgss-findings envelope)
  *   pgss_lint --warnings-as-errors   CI-strict mode
  *
  * Exit status: 0 when every program is free of error-severity
@@ -37,7 +38,7 @@ usage()
            "(default)\n"
         << "  --input <0-2>        input-set variant (default 0)\n"
         << "  --scale <x>          build scale (default 1.0)\n"
-        << "  --json               JSON report array on stdout\n"
+        << "  --json               findings envelope on stdout\n"
         << "  --warnings-as-errors exit 1 on warnings too\n"
         << "  --quiet              only print findings, no summary\n";
     return 2;
@@ -104,8 +105,7 @@ main(int argc, char **argv)
 
     std::size_t total_errors = 0;
     std::size_t total_warnings = 0;
-    std::string json = "[";
-    bool first = true;
+    std::vector<std::string> program_json;
 
     // Validate names up front: buildWorkload() panics on unknown
     // names, which is the right behaviour in-process but a poor CLI
@@ -136,10 +136,7 @@ main(int argc, char **argv)
         total_warnings += warnings;
 
         if (opt.json) {
-            if (!first)
-                json += ",";
-            first = false;
-            json += pgss::progcheck::reportJson(report);
+            program_json.push_back(pgss::progcheck::reportJson(report));
         } else {
             for (const pgss::progcheck::Finding &f : report.findings)
                 std::cout << name << ": " << f.str() << "\n";
@@ -152,8 +149,9 @@ main(int argc, char **argv)
     }
 
     if (opt.json) {
-        json += "]";
-        std::cout << json << "\n";
+        std::cout << pgss::progcheck::findingsEnvelope("pgss_lint",
+                                                       program_json)
+                  << "\n";
     } else if (!opt.quiet) {
         std::cout << opt.names.size() << " program(s) linted: "
                   << total_errors << " error(s), " << total_warnings

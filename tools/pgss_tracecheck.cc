@@ -1,0 +1,195 @@
+/**
+ * @file
+ * pgss_tracecheck — static validation of superblock trace translation
+ * (DESIGN.md section 15). Builds the named suite workloads (or every
+ * one with --all / no names), forms superblock traces under each
+ * requested formation config, and runs the tcheck translation
+ * validator over each (program, SuperblockSet) pair.
+ *
+ *   pgss_tracecheck                      check all ten suite workloads
+ *   pgss_tracecheck ammp crafty          check a subset
+ *   pgss_tracecheck --input 2 --scale .5 pick input set / build scale
+ *   pgss_tracecheck --max-ops 64         formation config (repeatable)
+ *   pgss_tracecheck --json               machine-readable findings
+ *   pgss_tracecheck --warnings-as-errors CI-strict mode
+ *
+ * JSON output is the shared pgss-findings envelope (same schema as
+ * pgss_lint --json; pgss_report `findings` renders both). Exit
+ * status: 0 when every set is free of error-severity findings, 1
+ * otherwise, 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cpu/superblock.hh"
+#include "tcheck/verify.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: pgss_tracecheck [options] [workload...]\n"
+        << "  --all                check every suite workload "
+           "(default)\n"
+        << "  --input <0-2>        input-set variant (default 0)\n"
+        << "  --scale <x>          build scale (default 1.0)\n"
+        << "  --max-ops <n>        per-trace op cap to form under; "
+           "repeat for a config sweep (default 256)\n"
+        << "  --json               findings envelope on stdout\n"
+        << "  --warnings-as-errors exit 1 on warnings too\n"
+        << "  --quiet              only print findings, no summary\n";
+    return 2;
+}
+
+struct CheckOptions
+{
+    std::vector<std::string> names;
+    std::vector<std::uint32_t> max_ops;
+    std::uint32_t input = 0;
+    double scale = 1.0;
+    bool json = false;
+    bool warnings_as_errors = false;
+    bool quiet = false;
+};
+
+bool
+parseArgs(const std::vector<std::string> &args, CheckOptions &opt)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--all") {
+            opt.names.clear();
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--warnings-as-errors") {
+            opt.warnings_as_errors = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--input" && i + 1 < args.size()) {
+            opt.input =
+                static_cast<std::uint32_t>(std::stoul(args[++i]));
+        } else if (arg == "--scale" && i + 1 < args.size()) {
+            opt.scale = std::stod(args[++i]);
+        } else if (arg == "--max-ops" && i + 1 < args.size()) {
+            opt.max_ops.push_back(
+                static_cast<std::uint32_t>(std::stoul(args[++i])));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "pgss_tracecheck: unknown option '" << arg
+                      << "'\n";
+            return false;
+        } else {
+            opt.names.push_back(arg);
+        }
+    }
+    if (opt.input >= pgss::workload::num_inputs) {
+        std::cerr << "pgss_tracecheck: input must be 0.."
+                  << pgss::workload::num_inputs - 1 << "\n";
+        return false;
+    }
+    for (std::uint32_t cap : opt.max_ops) {
+        if (cap == 0) {
+            std::cerr << "pgss_tracecheck: --max-ops must be >= 1\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &arg : args)
+        if (arg == "-h" || arg == "--help")
+            return usage();
+
+    CheckOptions opt;
+    if (!parseArgs(args, opt))
+        return usage();
+    if (opt.names.empty())
+        opt.names = pgss::workload::suiteNames();
+    if (opt.max_ops.empty())
+        opt.max_ops.push_back(pgss::cpu::SuperblockConfig{}.max_ops);
+
+    const std::vector<std::string> &known =
+        pgss::workload::suiteNames();
+    for (const std::string &name : opt.names) {
+        if (std::find(known.begin(), known.end(), name) ==
+            known.end()) {
+            std::cerr << "pgss_tracecheck: unknown workload '" << name
+                      << "'\n";
+            return 2;
+        }
+    }
+
+    std::size_t total_errors = 0;
+    std::size_t total_warnings = 0;
+    std::size_t sets_checked = 0;
+    std::vector<std::string> program_json;
+
+    for (const std::string &name : opt.names) {
+        const pgss::workload::BuiltWorkload built =
+            pgss::workload::buildWorkload(name, opt.scale, opt.input);
+
+        for (std::uint32_t cap : opt.max_ops) {
+            const pgss::cpu::SuperblockConfig config{cap};
+            const pgss::cpu::SuperblockSet set =
+                pgss::cpu::formSuperblocks(built.program, config);
+            pgss::tcheck::Report report =
+                pgss::tcheck::verifyTraces(built.program, set);
+            // Disambiguate config-sweep entries in reports and logs.
+            std::string label = name;
+            if (opt.max_ops.size() > 1)
+                label += "#max_ops=" + std::to_string(cap);
+            report.program = label;
+
+            const std::size_t errors = report.count(
+                pgss::tcheck::Severity::Error);
+            const std::size_t warnings = report.count(
+                pgss::tcheck::Severity::Warning);
+            total_errors += errors;
+            total_warnings += warnings;
+            ++sets_checked;
+
+            if (opt.json) {
+                program_json.push_back(
+                    pgss::tcheck::reportJson(report));
+            } else {
+                for (const pgss::tcheck::Finding &f : report.findings)
+                    std::cout << label << ": " << f.str() << "\n";
+                if (!opt.quiet)
+                    std::cout << label << ": " << report.num_traces
+                              << " traces, " << report.pool_size
+                              << " pool ops, " << errors
+                              << " error(s), " << warnings
+                              << " warning(s)\n";
+            }
+        }
+    }
+
+    if (opt.json) {
+        std::cout << pgss::tcheck::findingsEnvelope("pgss_tracecheck",
+                                                    program_json)
+                  << "\n";
+    } else if (!opt.quiet) {
+        std::cout << sets_checked << " trace set(s) checked: "
+                  << total_errors << " error(s), " << total_warnings
+                  << " warning(s)\n";
+    }
+
+    if (total_errors > 0)
+        return 1;
+    if (opt.warnings_as_errors && total_warnings > 0)
+        return 1;
+    return 0;
+}
